@@ -1,0 +1,76 @@
+// Command corpbench regenerates the paper's tables and figures as text
+// series.
+//
+// Usage:
+//
+//	corpbench [flags]
+//
+//	-fig    figure id (tableII, fig06..fig14, ablations) or "all"
+//	-seed   workload seed (default 1)
+//	-quick  small cluster and 3-point sweeps (default true)
+//	-list   print the available figure ids and exit
+//
+// Examples:
+//
+//	corpbench -fig fig06
+//	corpbench -fig all -quick=false     # full paper-scale run (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "corpbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("corpbench", flag.ContinueOnError)
+	fig := fs.String("fig", "all", "figure id or \"all\"")
+	seed := fs.Int64("seed", 1, "workload seed")
+	quick := fs.Bool("quick", true, "small cluster and 3-point sweeps")
+	list := fs.Bool("list", false, "print the available figure ids and exit")
+	md := fs.Bool("md", false, "render the output as a Markdown report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range corp.FigureIDs() {
+			fmt.Fprintln(out, id)
+		}
+		return nil
+	}
+	opts := corp.Options{Seed: *seed, Quick: *quick}
+	ids := []string{*fig}
+	if *fig == "all" {
+		ids = corp.FigureIDs()
+	}
+	var figs []*corp.Figure
+	for _, id := range ids {
+		start := time.Now()
+		f, err := corp.ReproduceFigure(id, opts)
+		if err != nil {
+			return err
+		}
+		if *md {
+			figs = append(figs, f)
+			continue
+		}
+		fmt.Fprint(out, f.String())
+		fmt.Fprintf(out, "  (%s in %.1fs)\n\n", id, time.Since(start).Seconds())
+	}
+	if *md {
+		return experiments.WriteMarkdownReport(out, "CORP reproduction report", figs)
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"tableII", "fig06", "fig14", "ablations", "ext-mixed"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %q", id)
+		}
+	}
+}
+
+func TestRunTableII(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "tableII"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "P_th") {
+		t.Errorf("tableII output missing P_th: %.120s", buf.String())
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "fig99"}, &buf); err == nil {
+		t.Error("unknown figure accepted")
+	}
+}
+
+func TestRunMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "tableII", "-md"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "# CORP reproduction report") {
+		t.Errorf("markdown report header missing: %.120s", buf.String())
+	}
+}

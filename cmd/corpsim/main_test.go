@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseScheme(t *testing.T) {
+	for _, name := range []string{"CORP", "corp", "RCCR", "cloudscale", "DRA"} {
+		if _, err := parseScheme(name); err != nil {
+			t.Errorf("parseScheme(%q): %v", name, err)
+		}
+	}
+	if _, err := parseScheme("bogus"); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	for _, name := range []string{"cluster", "ec2", "EC2"} {
+		if _, err := parseProfile(name); err != nil {
+			t.Errorf("parseProfile(%q): %v", name, err)
+		}
+	}
+	if _, err := parseProfile("gcp"); err == nil {
+		t.Error("bogus profile accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "out.txt")
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timeline := filepath.Join(dir, "tl.csv")
+	err = run([]string{
+		"-scheme", "RCCR", "-jobs", "20", "-pms", "4", "-vms", "16",
+		"-seed", "2", "-timeline", timeline,
+	}, out)
+	out.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scheme", "RCCR", "utilization", "SLO", "overhead"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+	tl, err := os.ReadFile(timeline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(tl), "slot,short_util") {
+		t.Errorf("timeline header wrong: %.60s", tl)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "out.json")
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-scheme", "DRA", "-jobs", "15", "-pms", "4", "-vms", "16", "-json"}, out)
+	out.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "\"Scheme\": \"DRA\"") {
+		t.Errorf("JSON output missing scheme: %.120s", text)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scheme", "nope"}, os.Stdout); err == nil {
+		t.Error("bad scheme accepted")
+	}
+	if err := run([]string{"-profile", "nope"}, os.Stdout); err == nil {
+		t.Error("bad profile accepted")
+	}
+}

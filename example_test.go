@@ -1,0 +1,87 @@
+package corp_test
+
+import (
+	"fmt"
+	"log"
+
+	corp "repro"
+	"repro/internal/resource"
+)
+
+// ExampleRunSimulation runs a small trace-driven simulation with the RCCR
+// baseline and reports the placement accounting.
+func ExampleRunSimulation() {
+	cfg := corp.DefaultSimConfig()
+	cfg.NumPMs, cfg.NumVMs = 4, 16 // laptop-sized testbed
+	cfg.NumJobs = 20
+	cfg.Seed = 7
+	cfg.Scheduler.Scheme = corp.SchemeRCCR
+	cfg.Scheduler.Seed = 7
+
+	res, err := corp.RunSimulation(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	placed := res.PlacedOpportunistic + res.PlacedFresh
+	fmt.Printf("scheme=%s jobs=%d placed=%d\n", res.Scheme, res.NumJobs, placed+res.NeverPlaced)
+	// Output:
+	// scheme=RCCR jobs=20 placed=20
+}
+
+// ExampleGenerateWorkload synthesizes a Google-trace-like workload.
+func ExampleGenerateWorkload() {
+	jobs, err := corp.GenerateWorkload(corp.WorkloadConfig{Seed: 1, NumJobs: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(jobs), "jobs")
+	for _, j := range jobs {
+		fmt.Printf("job %d: %d slots\n", j.ID, j.Duration)
+	}
+	// Output:
+	// 3 jobs
+	// job 0: 5 slots
+	// job 1: 9 slots
+	// job 2: 1 slots
+}
+
+// ExampleNewController shows the live control loop: telemetry in, grants
+// out.
+func ExampleNewController() {
+	cl, err := corp.NewCluster(corp.ClusterConfig{NumPMs: 2, NumVMs: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, vm := range cl.VMs {
+		if err := vm.Reserve(vm.Capacity.Scale(0.5)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	ctrl, err := corp.NewController(cl, corp.ControllerConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// One slot of telemetry per VM: 1 core, 4 GB, 45 GB unused each.
+	unused := make([]corp.Vector, len(cl.VMs))
+	for v := range unused {
+		unused[v] = resource.New(1, 4, 45)
+	}
+	if _, err := ctrl.ObserveSlot(unused); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("window=%d slots observed=%d\n", ctrl.Window(), ctrl.Slot())
+	// Output:
+	// window=6 slots observed=1
+}
+
+// ExampleReproduceFigure regenerates the paper's Table II.
+func ExampleReproduceFigure() {
+	fig, err := corp.ReproduceFigure("tableII", corp.QuickOptions(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := fig.SeriesByLabel("DNN layers h")
+	fmt.Printf("%s = %.0f\n", s.Label, s.Y[0])
+	// Output:
+	// DNN layers h = 4
+}

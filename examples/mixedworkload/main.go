@@ -1,0 +1,59 @@
+// Mixed workload: the paper's "cooperative" angle and its future work —
+// CORP runs alongside a reservation-based method serving long-lived jobs,
+// harvesting the long jobs' allocated-but-unused resources for short-lived
+// arrivals. Compares CORP's short-job metrics with and without the long
+// population present.
+//
+//	go run ./examples/mixedworkload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("cooperative mixed workload: short-lived jobs over long-lived services")
+	fmt.Println()
+
+	run := func(longJobs int) *corp.SimResult {
+		cfg := corp.DefaultSimConfig()
+		cfg.NumPMs, cfg.NumVMs = 10, 40
+		cfg.NumJobs = 100
+		cfg.Seed = 21
+		cfg.Scheduler.Seed = 21
+		cfg.LongJobs = longJobs
+		res, err := corp.RunSimulation(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	short := run(0)
+	mixed := run(25)
+
+	fmt.Printf("%-28s %14s %14s\n", "", "short-only", "mixed (+25 long)")
+	rows := []struct {
+		name string
+		a, b string
+	}{
+		{"short-job utilization", fmt.Sprintf("%.3f", short.Overall), fmt.Sprintf("%.3f", mixed.Overall)},
+		{"cluster utilization", fmt.Sprintf("%.3f", short.ClusterOverall), fmt.Sprintf("%.3f", mixed.ClusterOverall)},
+		{"SLO violation rate", fmt.Sprintf("%.3f", short.SLORate), fmt.Sprintf("%.3f", mixed.SLORate)},
+		{"opportunistic placements", fmt.Sprintf("%d", short.PlacedOpportunistic), fmt.Sprintf("%d", mixed.PlacedOpportunistic)},
+		{"fairness (Jain)", fmt.Sprintf("%.3f", short.Fairness), fmt.Sprintf("%.3f", mixed.Fairness)},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-28s %14s %14s\n", r.name, r.a, r.b)
+	}
+	fmt.Printf("\nlong jobs: placed %d, unplaced %d, finished %d\n",
+		mixed.LongPlaced, mixed.LongUnplaced, mixed.LongFinished)
+	fmt.Println()
+	fmt.Println("the long services' reservations shrink the fresh pool, but their")
+	fmt.Println("own unused resources flow into the opportunistic pool CORP")
+	fmt.Println("harvests — short-lived jobs keep placing and the cluster-wide")
+	fmt.Println("utilization rises with the extra served demand.")
+}

@@ -1,0 +1,46 @@
+// Quickstart: run one CORP simulation against the paper's cluster testbed
+// and compare it with the three baselines on the same workload.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	fmt.Println("CORP reproduction quickstart")
+	fmt.Println("reproducing one trace-driven run per provisioning scheme")
+	fmt.Println()
+
+	schemes := []corp.Scheme{
+		corp.SchemeCORP, corp.SchemeRCCR, corp.SchemeCloudScale, corp.SchemeDRA,
+	}
+	fmt.Printf("%-11s %9s %9s %9s %9s %11s\n",
+		"scheme", "util", "SLO rate", "errRate", "opp/fresh", "latency")
+	for _, sc := range schemes {
+		cfg := corp.DefaultSimConfig()
+		cfg.NumPMs, cfg.NumVMs = 10, 40 // laptop-sized testbed
+		cfg.NumJobs = 100
+		cfg.Seed = 42
+		cfg.Scheduler.Scheme = sc
+		cfg.Scheduler.Seed = 42
+
+		res, err := corp.RunSimulation(cfg)
+		if err != nil {
+			log.Fatalf("simulation failed: %v", err)
+		}
+		fmt.Printf("%-11s %9.3f %9.3f %9.3f %5d/%-4d %9.1fms\n",
+			res.Scheme, res.Overall, res.SLORate, res.PredictionErrorRate,
+			res.PlacedOpportunistic, res.PlacedFresh,
+			res.Overhead.TotalMillis())
+	}
+
+	fmt.Println()
+	fmt.Println("expected shape (paper Figs. 6-10): CORP has the highest")
+	fmt.Println("utilization, the lowest SLO violation and prediction error")
+	fmt.Println("rates, and slightly the highest allocation latency (DNN cost).")
+}

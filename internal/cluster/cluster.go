@@ -1,0 +1,278 @@
+// Package cluster models the physical substrate of the paper's two
+// testbeds: physical machines (PMs) whose resources are carved into virtual
+// machines (VMs), with capacity accounting for reserved and opportunistic
+// allocations.
+//
+// Profiles mirror Section IV of the paper:
+//
+//   - Cluster: 50 nodes of Clemson's Palmetto cluster (HP SL230, dual
+//     E5-2665 → 16 cores, 64 GB memory), each node a PM, logical disks as
+//     VMs; 1 GB/s bandwidth and 720 GB disk per server.
+//   - EC2: 30 Amazon EC2 nodes (HP ProLiant ML110 G5 class, 2660 MIPS,
+//     4 GB memory), each node simulated as one VM, with higher
+//     communication overhead.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/resource"
+)
+
+// PM is a physical machine hosting VMs.
+type PM struct {
+	ID       int
+	Capacity resource.Vector
+	VMs      []int // indices into the cluster's VM list
+}
+
+// VM is a virtual machine with multi-resource capacity C_ij and allocation
+// accounting. Reserved covers long-standing tenant reservations;
+// Opportunistic covers short-lived grants carved from predicted-unused or
+// unallocated headroom.
+type VM struct {
+	ID       int
+	PM       int
+	Capacity resource.Vector
+
+	reserved      resource.Vector
+	opportunistic resource.Vector
+}
+
+// Reserved returns the currently reserved amount.
+func (v *VM) Reserved() resource.Vector { return v.reserved }
+
+// Opportunistic returns the currently granted opportunistic amount.
+func (v *VM) Opportunistic() resource.Vector { return v.opportunistic }
+
+// Allocated returns reserved + opportunistic.
+func (v *VM) Allocated() resource.Vector {
+	return v.reserved.Add(v.opportunistic)
+}
+
+// Unallocated returns capacity − reserved − opportunistic, clamped at zero.
+func (v *VM) Unallocated() resource.Vector {
+	return v.Capacity.Sub(v.Allocated()).ClampNonNegative()
+}
+
+// Reserve claims amount from the VM's reserved pool. It fails without side
+// effects when the VM lacks headroom.
+func (v *VM) Reserve(amount resource.Vector) error {
+	if !amount.NonNegative() {
+		return fmt.Errorf("cluster: negative reserve %v on VM %d", amount, v.ID)
+	}
+	if !v.Allocated().Add(amount).FitsIn(v.Capacity) {
+		return fmt.Errorf("cluster: VM %d cannot reserve %v (allocated %v of %v)",
+			v.ID, amount, v.Allocated(), v.Capacity)
+	}
+	v.reserved = v.reserved.Add(amount)
+	return nil
+}
+
+// ReleaseReserved returns amount to the reserved pool, clamping so the pool
+// never goes negative even if callers double-release.
+func (v *VM) ReleaseReserved(amount resource.Vector) {
+	v.reserved = v.reserved.Sub(amount).ClampNonNegative()
+}
+
+// GrantOpportunistic claims amount from the VM's opportunistic pool. The
+// grant is bounded by total capacity, not by actual current usage — an
+// overcommitted grant is exactly how opportunistic provisioning causes SLO
+// damage when the prediction was wrong, so the simulator enforces only the
+// physical capacity here.
+func (v *VM) GrantOpportunistic(amount resource.Vector) error {
+	if !amount.NonNegative() {
+		return fmt.Errorf("cluster: negative grant %v on VM %d", amount, v.ID)
+	}
+	if !v.Allocated().Add(amount).FitsIn(v.Capacity) {
+		return fmt.Errorf("cluster: VM %d cannot grant %v (allocated %v of %v)",
+			v.ID, amount, v.Allocated(), v.Capacity)
+	}
+	v.opportunistic = v.opportunistic.Add(amount)
+	return nil
+}
+
+// ReleaseOpportunistic returns amount to the opportunistic pool, clamped.
+func (v *VM) ReleaseOpportunistic(amount resource.Vector) {
+	v.opportunistic = v.opportunistic.Sub(amount).ClampNonNegative()
+}
+
+// Cluster is a set of PMs and the VMs carved from them.
+type Cluster struct {
+	PMs []*PM
+	VMs []*VM
+
+	// CommLatencyMicros is the simulated communication latency added per
+	// allocation operation, in microseconds. EC2 sets this higher than the
+	// dedicated cluster (Fig. 14 vs Fig. 10).
+	CommLatencyMicros float64
+}
+
+// MaxVMCapacity returns C′, the per-kind maximum capacity over all VMs
+// (paper Eq. 22).
+func (c *Cluster) MaxVMCapacity() resource.Vector {
+	caps := make([]resource.Vector, len(c.VMs))
+	for i, v := range c.VMs {
+		caps[i] = v.Capacity
+	}
+	return resource.MaxAcross(caps)
+}
+
+// TotalCapacity returns the element-wise sum of all VM capacities.
+func (c *Cluster) TotalCapacity() resource.Vector {
+	caps := make([]resource.Vector, len(c.VMs))
+	for i, v := range c.VMs {
+		caps[i] = v.Capacity
+	}
+	return resource.SumAcross(caps)
+}
+
+// Validate checks structural invariants: every VM references a valid PM,
+// per-PM VM capacity sums fit in the PM, and all allocations fit their VM.
+func (c *Cluster) Validate() error {
+	perPM := make([]resource.Vector, len(c.PMs))
+	for i, v := range c.VMs {
+		if v.ID != i {
+			return fmt.Errorf("cluster: VM at index %d has ID %d", i, v.ID)
+		}
+		if v.PM < 0 || v.PM >= len(c.PMs) {
+			return fmt.Errorf("cluster: VM %d references PM %d of %d", v.ID, v.PM, len(c.PMs))
+		}
+		perPM[v.PM] = perPM[v.PM].Add(v.Capacity)
+		if !v.Allocated().FitsIn(v.Capacity) {
+			return fmt.Errorf("cluster: VM %d over-allocated: %v of %v", v.ID, v.Allocated(), v.Capacity)
+		}
+	}
+	for i, pm := range c.PMs {
+		if pm.ID != i {
+			return fmt.Errorf("cluster: PM at index %d has ID %d", i, pm.ID)
+		}
+		if !perPM[i].FitsIn(pm.Capacity) {
+			return fmt.Errorf("cluster: PM %d oversubscribed: VMs need %v of %v", i, perPM[i], pm.Capacity)
+		}
+	}
+	return nil
+}
+
+// Profile selects one of the paper's testbeds.
+type Profile int
+
+// Testbed profiles from Section IV.
+const (
+	// ProfileCluster is the 50-node Palmetto deployment.
+	ProfileCluster Profile = iota
+	// ProfileEC2 is the 30-node Amazon EC2 deployment.
+	ProfileEC2
+)
+
+// String names the profile.
+func (p Profile) String() string {
+	switch p {
+	case ProfileCluster:
+		return "cluster"
+	case ProfileEC2:
+		return "ec2"
+	default:
+		return fmt.Sprintf("Profile(%d)", int(p))
+	}
+}
+
+// Config parameterizes cluster construction.
+type Config struct {
+	Profile Profile
+	// NumPMs overrides the profile default when > 0 (paper Table II:
+	// 30–50 servers).
+	NumPMs int
+	// NumVMs overrides the profile default when > 0 (paper Table II:
+	// 100–400 VMs). Must be ≥ NumPMs and is rounded to a multiple of
+	// NumPMs so every PM hosts the same number of equal VMs.
+	NumVMs int
+	// Heterogeneous carves each cluster-profile PM into VMs of unequal
+	// sizes (a 1/2 + 1/4 + 1/4 split pattern per group of equal VMs),
+	// exercising the C′ normalization of Eq. 22 — "logical disks as
+	// VMs" in the paper's testbed were not uniform. Ignored on EC2.
+	Heterogeneous bool
+}
+
+// New builds a cluster for the given configuration.
+//
+// Cluster profile: each PM models an HP SL230 (16 cores, 64 GB memory,
+// 720 GB disk); VMs split the PM evenly. EC2 profile: each node is one VM
+// modeled on an ML110 G5 (≈2.66 GHz single-ish core budget normalized to
+// 2 cores, 4 GB memory, 720 GB disk) hosted on a pass-through PM.
+func New(cfg Config) (*Cluster, error) {
+	switch cfg.Profile {
+	case ProfileCluster:
+		return newCluster(cfg)
+	case ProfileEC2:
+		return newEC2(cfg)
+	default:
+		return nil, fmt.Errorf("cluster: unknown profile %v", cfg.Profile)
+	}
+}
+
+func newCluster(cfg Config) (*Cluster, error) {
+	numPMs := cfg.NumPMs
+	if numPMs <= 0 {
+		numPMs = 50
+	}
+	numVMs := cfg.NumVMs
+	if numVMs <= 0 {
+		numVMs = 200
+	}
+	if numVMs < numPMs {
+		return nil, fmt.Errorf("cluster: NumVMs %d < NumPMs %d", numVMs, numPMs)
+	}
+	perPM := numVMs / numPMs
+	numVMs = perPM * numPMs
+	pmCap := resource.New(16, 64, 720) // SL230: 16 cores, 64 GB, 720 GB
+	vmCap := pmCap.Scale(1 / float64(perPM))
+
+	c := &Cluster{CommLatencyMicros: 50} // LAN-class fabric
+	for p := 0; p < numPMs; p++ {
+		c.PMs = append(c.PMs, &PM{ID: p, Capacity: pmCap})
+	}
+	for i := 0; i < numVMs; i++ {
+		pm := i % numPMs
+		cap := vmCap
+		if cfg.Heterogeneous {
+			// Within each run of equal shares, reshape capacity
+			// 1/2 : 1/4 : 1/4 in a repeating pattern while keeping the
+			// per-PM sum fixed (groups of 4 equal VMs become
+			// 2×, 0.5×, 0.5×, 1× of the even split).
+			switch (i / numPMs) % 4 {
+			case 0:
+				cap = vmCap.Scale(2)
+			case 1, 2:
+				cap = vmCap.Scale(0.5)
+			}
+			// Case 3 keeps the even split. PMs with fewer than 4 VMs
+			// would oversubscribe with the 2× head, so only reshape
+			// when a full pattern fits.
+			if perPM < 4 {
+				cap = vmCap
+			}
+		}
+		vm := &VM{ID: i, PM: pm, Capacity: cap}
+		c.VMs = append(c.VMs, vm)
+		c.PMs[pm].VMs = append(c.PMs[pm].VMs, i)
+	}
+	return c, c.Validate()
+}
+
+func newEC2(cfg Config) (*Cluster, error) {
+	numNodes := cfg.NumPMs
+	if numNodes <= 0 {
+		numNodes = 30
+	}
+	// "each node is simulated as a VM": one pass-through PM per VM.
+	vmCap := resource.New(2, 4, 720)      // ML110 G5-class: 2 cores, 4 GB, 720 GB
+	c := &Cluster{CommLatencyMicros: 800} // wide-area RTT budget (Fig. 14 ≫ Fig. 10)
+	for i := 0; i < numNodes; i++ {
+		c.PMs = append(c.PMs, &PM{ID: i, Capacity: vmCap})
+		vm := &VM{ID: i, PM: i, Capacity: vmCap}
+		c.VMs = append(c.VMs, vm)
+		c.PMs[i].VMs = []int{i}
+	}
+	return c, c.Validate()
+}

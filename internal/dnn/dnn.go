@@ -1,0 +1,322 @@
+// Package dnn is a from-scratch deep neural network substrate implementing
+// exactly the model of the paper's Section III-A: a fully connected
+// feed-forward network with sigmoid activations (Eq. 5), back-propagated
+// error terms (Eqs. 6–7), and SGD weight updates (Eq. 8), trained for
+// multiple epochs until a held-out validation error converges. Greedy
+// layer-wise autoencoder pretraining is provided as well ("for training, it
+// first computes the hidden activation[,] the reconstructed output from the
+// hidden activation[,] the error gradient, and ... back-propagates").
+//
+// Table II fixes the paper's topology: h = 4 layers with 50 units per
+// hidden layer.
+package dnn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Config describes a network topology and training hyperparameters.
+type Config struct {
+	// LayerSizes lists unit counts from the input layer to the output
+	// layer inclusive, e.g. {Δ, 50, 50, 1} for the paper's 4-layer net.
+	LayerSizes []int
+
+	// LearningRate is μ in Eq. 8. Zero defaults to 0.5 (sigmoid nets
+	// train comfortably at this rate on [0,1]-normalized data).
+	LearningRate float64
+
+	// Seed drives the deterministic weight initialization.
+	Seed int64
+}
+
+// Network is a feed-forward sigmoid MLP.
+type Network struct {
+	sizes   []int
+	rate    float64
+	weights [][][]float64 // weights[d][i][j]: layer d+1 neuron i ← layer d neuron j
+	biases  [][]float64   // biases[d][i]: bias e_i of layer d+1 neuron i
+
+	// scratch buffers reused across calls; Network is NOT safe for
+	// concurrent use (clone per goroutine instead).
+	acts   [][]float64
+	deltas [][]float64
+}
+
+// New builds a network with deterministic small random weights.
+func New(cfg Config) (*Network, error) {
+	if len(cfg.LayerSizes) < 2 {
+		return nil, errors.New("dnn: need at least input and output layers")
+	}
+	for i, s := range cfg.LayerSizes {
+		if s < 1 {
+			return nil, fmt.Errorf("dnn: layer %d has size %d", i, s)
+		}
+	}
+	rate := cfg.LearningRate
+	if rate <= 0 {
+		rate = 0.5
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := &Network{sizes: append([]int(nil), cfg.LayerSizes...), rate: rate}
+	for d := 0; d < len(n.sizes)-1; d++ {
+		in, out := n.sizes[d], n.sizes[d+1]
+		// Xavier-style scale keeps sigmoid pre-activations in the
+		// responsive region for any layer width.
+		scale := math.Sqrt(6.0 / float64(in+out))
+		w := make([][]float64, out)
+		for i := range w {
+			w[i] = make([]float64, in)
+			for j := range w[i] {
+				w[i][j] = (2*rng.Float64() - 1) * scale
+			}
+		}
+		n.weights = append(n.weights, w)
+		n.biases = append(n.biases, make([]float64, out))
+	}
+	n.acts = make([][]float64, len(n.sizes))
+	n.deltas = make([][]float64, len(n.sizes))
+	for d, s := range n.sizes {
+		n.acts[d] = make([]float64, s)
+		n.deltas[d] = make([]float64, s)
+	}
+	return n, nil
+}
+
+// NumLayers returns the number of layers including input and output
+// (the paper's h).
+func (n *Network) NumLayers() int { return len(n.sizes) }
+
+// LayerSizes returns a copy of the topology.
+func (n *Network) LayerSizes() []int { return append([]int(nil), n.sizes...) }
+
+// sigmoid is F of Eq. 5.
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
+
+// sigmoidPrime is F′ expressed in terms of the activation g:
+// F′ = g·(1−g), as used by Eqs. 6–7.
+func sigmoidPrime(g float64) float64 { return g * (1 - g) }
+
+// Forward runs feed-forward evaluation (Eq. 5) and returns the output
+// activations. The returned slice is owned by the network and overwritten
+// by the next call; copy it if you need to keep it.
+func (n *Network) Forward(input []float64) ([]float64, error) {
+	if len(input) != n.sizes[0] {
+		return nil, fmt.Errorf("dnn: input size %d, want %d", len(input), n.sizes[0])
+	}
+	copy(n.acts[0], input)
+	for d := 0; d < len(n.weights); d++ {
+		prev := n.acts[d]
+		cur := n.acts[d+1]
+		w := n.weights[d]
+		b := n.biases[d]
+		for i := range cur {
+			sum := b[i]
+			wi := w[i]
+			for j, g := range prev {
+				sum += wi[j] * g
+			}
+			cur[i] = sigmoid(sum)
+		}
+	}
+	return n.acts[len(n.acts)-1], nil
+}
+
+// TrainSample performs one SGD step on a single (input, target) pair:
+// feed-forward (Eq. 5), output error terms (Eq. 6), back-propagation
+// (Eq. 7), and weight update (Eq. 8). It returns the pre-update squared
+// error ½‖t−g‖².
+func (n *Network) TrainSample(input, target []float64) (float64, error) {
+	out, err := n.Forward(input)
+	if err != nil {
+		return 0, err
+	}
+	last := len(n.sizes) - 1
+	if len(target) != n.sizes[last] {
+		return 0, fmt.Errorf("dnn: target size %d, want %d", len(target), n.sizes[last])
+	}
+	var loss float64
+	for i, g := range out {
+		diff := target[i] - g
+		loss += 0.5 * diff * diff
+		n.deltas[last][i] = diff * sigmoidPrime(g) // Eq. 6
+	}
+	for d := last - 1; d >= 1; d-- { // Eq. 7
+		w := n.weights[d] // layer d → d+1
+		for i := range n.deltas[d] {
+			var sum float64
+			for j := range n.deltas[d+1] {
+				sum += n.deltas[d+1][j] * w[j][i]
+			}
+			n.deltas[d][i] = sum * sigmoidPrime(n.acts[d][i])
+		}
+	}
+	for d := 0; d < len(n.weights); d++ { // Eq. 8
+		w := n.weights[d]
+		b := n.biases[d]
+		prev := n.acts[d]
+		delta := n.deltas[d+1]
+		for i := range w {
+			step := n.rate * delta[i]
+			wi := w[i]
+			for j, g := range prev {
+				wi[j] += step * g
+			}
+			b[i] += step
+		}
+	}
+	return loss, nil
+}
+
+// Clone returns a deep copy sharing no state, so each goroutine in a
+// parallel sweep can own its own network.
+func (n *Network) Clone() *Network {
+	c := &Network{sizes: append([]int(nil), n.sizes...), rate: n.rate}
+	for d := range n.weights {
+		w := make([][]float64, len(n.weights[d]))
+		for i := range w {
+			w[i] = append([]float64(nil), n.weights[d][i]...)
+		}
+		c.weights = append(c.weights, w)
+		c.biases = append(c.biases, append([]float64(nil), n.biases[d]...))
+	}
+	c.acts = make([][]float64, len(c.sizes))
+	c.deltas = make([][]float64, len(c.sizes))
+	for d, s := range c.sizes {
+		c.acts[d] = make([]float64, s)
+		c.deltas[d] = make([]float64, s)
+	}
+	return c
+}
+
+// Sample is one supervised training pair.
+type Sample struct {
+	Input  []float64
+	Target []float64
+}
+
+// TrainOptions controls the epoch loop.
+type TrainOptions struct {
+	// MaxEpochs bounds training; zero defaults to 200.
+	MaxEpochs int
+	// ValidationFrac is the held-out fraction (taken from the end of the
+	// sample list); zero defaults to 0.2.
+	ValidationFrac float64
+	// Tolerance is the relative validation-error improvement below which
+	// an epoch counts as converged; zero defaults to 1e-4.
+	Tolerance float64
+	// Patience is how many consecutive converged epochs stop training;
+	// zero defaults to 5.
+	Patience int
+	// Seed drives epoch shuffling.
+	Seed int64
+}
+
+func (o TrainOptions) withDefaults() TrainOptions {
+	if o.MaxEpochs <= 0 {
+		o.MaxEpochs = 200
+	}
+	if o.ValidationFrac <= 0 || o.ValidationFrac >= 1 {
+		o.ValidationFrac = 0.2
+	}
+	if o.Tolerance <= 0 {
+		o.Tolerance = 1e-4
+	}
+	if o.Patience <= 0 {
+		o.Patience = 5
+	}
+	return o
+}
+
+// TrainResult reports how a training run went.
+type TrainResult struct {
+	Epochs          int
+	TrainLoss       float64 // mean per-sample loss of the final epoch
+	ValidationLoss  float64 // mean held-out loss after the final epoch
+	Converged       bool    // stopped by the convergence criterion
+	ValidationCount int
+}
+
+// Train runs the paper's training loop: repeat epochs over the training
+// set, measure the held-out validation error after each, and stop when it
+// converges to a low value (or MaxEpochs).
+func (n *Network) Train(samples []Sample, opts TrainOptions) (TrainResult, error) {
+	opts = opts.withDefaults()
+	if len(samples) == 0 {
+		return TrainResult{}, errors.New("dnn: no training samples")
+	}
+	nVal := int(float64(len(samples)) * opts.ValidationFrac)
+	if nVal >= len(samples) {
+		nVal = len(samples) - 1
+	}
+	train := samples[:len(samples)-nVal]
+	val := samples[len(samples)-nVal:]
+	rng := rand.New(rand.NewSource(opts.Seed))
+	order := make([]int, len(train))
+	for i := range order {
+		order[i] = i
+	}
+
+	res := TrainResult{ValidationCount: len(val)}
+	prevVal := math.Inf(1)
+	stalled := 0
+	for epoch := 0; epoch < opts.MaxEpochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		var trainLoss float64
+		for _, idx := range order {
+			s := train[idx]
+			loss, err := n.TrainSample(s.Input, s.Target)
+			if err != nil {
+				return res, err
+			}
+			trainLoss += loss
+		}
+		res.TrainLoss = trainLoss / float64(len(train))
+		res.Epochs = epoch + 1
+
+		valLoss, err := n.Loss(val)
+		if err != nil {
+			return res, err
+		}
+		res.ValidationLoss = valLoss
+		if nVal == 0 {
+			valLoss = res.TrainLoss
+			res.ValidationLoss = valLoss
+		}
+		if prevVal-valLoss < opts.Tolerance*math.Max(prevVal, 1e-12) {
+			stalled++
+			if stalled >= opts.Patience {
+				res.Converged = true
+				return res, nil
+			}
+		} else {
+			stalled = 0
+		}
+		prevVal = valLoss
+	}
+	return res, nil
+}
+
+// Loss returns the mean ½‖t−g‖² over the samples without updating weights.
+func (n *Network) Loss(samples []Sample) (float64, error) {
+	if len(samples) == 0 {
+		return 0, nil
+	}
+	var total float64
+	for _, s := range samples {
+		out, err := n.Forward(s.Input)
+		if err != nil {
+			return 0, err
+		}
+		if len(s.Target) != len(out) {
+			return 0, fmt.Errorf("dnn: target size %d, want %d", len(s.Target), len(out))
+		}
+		for i, g := range out {
+			d := s.Target[i] - g
+			total += 0.5 * d * d
+		}
+	}
+	return total / float64(len(samples)), nil
+}

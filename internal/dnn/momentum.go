@@ -1,0 +1,163 @@
+package dnn
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Momentum SGD and minibatch training: classical accelerations of the
+// paper's plain per-sample update (Eq. 8). The online predictors keep the
+// plain rule (it is what the paper specifies); offline pretraining can opt
+// into these for faster convergence.
+
+// MomentumTrainer wraps a network with classical-momentum SGD state.
+type MomentumTrainer struct {
+	net      *Network
+	momentum float64
+	vW       [][][]float64
+	vB       [][]float64
+
+	// accumulated minibatch gradients
+	gW    [][][]float64
+	gB    [][]float64
+	batch int
+}
+
+// NewMomentumTrainer builds a trainer over the network. Momentum must be
+// in [0, 1); values outside are clamped.
+func NewMomentumTrainer(net *Network, momentum float64) *MomentumTrainer {
+	if momentum < 0 {
+		momentum = 0
+	}
+	if momentum >= 1 {
+		momentum = 0.99
+	}
+	t := &MomentumTrainer{net: net, momentum: momentum}
+	t.vW, t.gW = zerosLikeWeights(net), zerosLikeWeights(net)
+	t.vB, t.gB = zerosLikeBiases(net), zerosLikeBiases(net)
+	return t
+}
+
+func zerosLikeWeights(n *Network) [][][]float64 {
+	out := make([][][]float64, len(n.weights))
+	for d := range n.weights {
+		out[d] = make([][]float64, len(n.weights[d]))
+		for i := range n.weights[d] {
+			out[d][i] = make([]float64, len(n.weights[d][i]))
+		}
+	}
+	return out
+}
+
+func zerosLikeBiases(n *Network) [][]float64 {
+	out := make([][]float64, len(n.biases))
+	for d := range n.biases {
+		out[d] = make([]float64, len(n.biases[d]))
+	}
+	return out
+}
+
+// Accumulate computes one sample's gradient (without touching the
+// weights) and folds it into the current minibatch. It returns the
+// sample's pre-update loss.
+func (t *MomentumTrainer) Accumulate(input, target []float64) (float64, error) {
+	n := t.net
+	out, err := n.Forward(input)
+	if err != nil {
+		return 0, err
+	}
+	last := len(n.sizes) - 1
+	if len(target) != n.sizes[last] {
+		return 0, fmt.Errorf("dnn: target size %d, want %d", len(target), n.sizes[last])
+	}
+	var loss float64
+	for i, g := range out {
+		diff := target[i] - g
+		loss += 0.5 * diff * diff
+		n.deltas[last][i] = diff * sigmoidPrime(g)
+	}
+	for d := last - 1; d >= 1; d-- {
+		w := n.weights[d]
+		for i := range n.deltas[d] {
+			var sum float64
+			for j := range n.deltas[d+1] {
+				sum += n.deltas[d+1][j] * w[j][i]
+			}
+			n.deltas[d][i] = sum * sigmoidPrime(n.acts[d][i])
+		}
+	}
+	for d := 0; d < len(n.weights); d++ {
+		prev := n.acts[d]
+		delta := n.deltas[d+1]
+		for i := range t.gW[d] {
+			gi := t.gW[d][i]
+			for j, g := range prev {
+				gi[j] += delta[i] * g
+			}
+			t.gB[d][i] += delta[i]
+		}
+	}
+	t.batch++
+	return loss, nil
+}
+
+// Step applies the accumulated minibatch gradient with momentum:
+// v ← m·v + μ·ḡ; w ← w + v. It resets the accumulator. Calling Step with
+// an empty batch is an error.
+func (t *MomentumTrainer) Step() error {
+	if t.batch == 0 {
+		return errors.New("dnn: momentum step with empty batch")
+	}
+	n := t.net
+	inv := 1 / float64(t.batch)
+	for d := range n.weights {
+		for i := range n.weights[d] {
+			wi := n.weights[d][i]
+			vi := t.vW[d][i]
+			gi := t.gW[d][i]
+			for j := range wi {
+				vi[j] = t.momentum*vi[j] + n.rate*gi[j]*inv
+				wi[j] += vi[j]
+				gi[j] = 0
+			}
+			t.vB[d][i] = t.momentum*t.vB[d][i] + n.rate*t.gB[d][i]*inv
+			n.biases[d][i] += t.vB[d][i]
+			t.gB[d][i] = 0
+		}
+	}
+	t.batch = 0
+	return nil
+}
+
+// TrainMinibatch runs epochs of minibatch-momentum training over the
+// samples in their given order and returns the mean per-sample loss of
+// the final epoch. Batch sizes < 1 default to 16.
+func (t *MomentumTrainer) TrainMinibatch(samples []Sample, epochs, batchSize int) (float64, error) {
+	if len(samples) == 0 {
+		return 0, errors.New("dnn: no samples")
+	}
+	if epochs < 1 {
+		epochs = 1
+	}
+	if batchSize < 1 {
+		batchSize = 16
+	}
+	var last float64
+	for e := 0; e < epochs; e++ {
+		var total float64
+		for i, s := range samples {
+			loss, err := t.Accumulate(s.Input, s.Target)
+			if err != nil {
+				return 0, err
+			}
+			total += loss
+			if t.batch >= batchSize || i == len(samples)-1 {
+				if err := t.Step(); err != nil {
+					return 0, err
+				}
+			}
+		}
+		last = total / float64(len(samples))
+	}
+	return last, nil
+}

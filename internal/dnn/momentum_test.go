@@ -1,0 +1,138 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMomentumClamping(t *testing.T) {
+	n, _ := New(Config{LayerSizes: []int{1, 2, 1}, Seed: 1})
+	if tr := NewMomentumTrainer(n, -0.5); tr.momentum != 0 {
+		t.Errorf("negative momentum = %v", tr.momentum)
+	}
+	if tr := NewMomentumTrainer(n, 1.5); tr.momentum >= 1 {
+		t.Errorf("momentum ≥ 1 not clamped: %v", tr.momentum)
+	}
+}
+
+func TestStepEmptyBatchFails(t *testing.T) {
+	n, _ := New(Config{LayerSizes: []int{1, 2, 1}, Seed: 1})
+	if err := NewMomentumTrainer(n, 0.9).Step(); err == nil {
+		t.Error("empty-batch step accepted")
+	}
+}
+
+func TestAccumulateDoesNotMoveWeights(t *testing.T) {
+	n, _ := New(Config{LayerSizes: []int{1, 3, 1}, Seed: 2})
+	before := n.weights[0][0][0]
+	tr := NewMomentumTrainer(n, 0.9)
+	if _, err := tr.Accumulate([]float64{0.4}, []float64{0.9}); err != nil {
+		t.Fatal(err)
+	}
+	if n.weights[0][0][0] != before {
+		t.Error("Accumulate mutated weights before Step")
+	}
+	if err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if n.weights[0][0][0] == before {
+		t.Error("Step did not update weights")
+	}
+}
+
+func TestMinibatchMomentumConverges(t *testing.T) {
+	n, err := New(Config{LayerSizes: []int{1, 16, 1}, LearningRate: 0.5, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewMomentumTrainer(n, 0.9)
+	loss, err := tr.TrainMinibatch(sineSamples(128), 200, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loss > 0.01 {
+		t.Errorf("minibatch-momentum loss %v after 200 epochs", loss)
+	}
+}
+
+func TestMomentumBeatsPlainSGDOnSameBudget(t *testing.T) {
+	const epochs = 40
+	samples := sineSamples(128)
+
+	plain, _ := New(Config{LayerSizes: []int{1, 16, 1}, LearningRate: 0.3, Seed: 4})
+	var plainLoss float64
+	for e := 0; e < epochs; e++ {
+		plainLoss = 0
+		for _, s := range samples {
+			l, err := plain.TrainSample(s.Input, s.Target)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainLoss += l
+		}
+		plainLoss /= float64(len(samples))
+	}
+
+	fast, _ := New(Config{LayerSizes: []int{1, 16, 1}, LearningRate: 0.3, Seed: 4})
+	mLoss, err := NewMomentumTrainer(fast, 0.9).TrainMinibatch(samples, epochs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("plain SGD loss %.5f, momentum loss %.5f after %d epochs", plainLoss, mLoss, epochs)
+	if mLoss > plainLoss*1.5 {
+		t.Errorf("momentum (%.5f) much worse than plain SGD (%.5f)", mLoss, plainLoss)
+	}
+}
+
+func TestTrainMinibatchValidation(t *testing.T) {
+	n, _ := New(Config{LayerSizes: []int{1, 2, 1}, Seed: 5})
+	tr := NewMomentumTrainer(n, 0.5)
+	if _, err := tr.TrainMinibatch(nil, 5, 8); err == nil {
+		t.Error("empty samples accepted")
+	}
+	// Degenerate epoch/batch values are clamped, not rejected.
+	if _, err := tr.TrainMinibatch(sineSamples(8), 0, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMomentumGradientMatchesPlainStep(t *testing.T) {
+	// With momentum 0 and batch size 1, one Accumulate+Step must move the
+	// weights exactly as one TrainSample does.
+	a, _ := New(Config{LayerSizes: []int{2, 3, 1}, LearningRate: 0.7, Seed: 6})
+	b := a.Clone()
+	in := []float64{0.2, 0.8}
+	target := []float64{0.6}
+	if _, err := a.TrainSample(in, target); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewMomentumTrainer(b, 0)
+	if _, err := tr.Accumulate(in, target); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Step(); err != nil {
+		t.Fatal(err)
+	}
+	for d := range a.weights {
+		for i := range a.weights[d] {
+			for j := range a.weights[d][i] {
+				if math.Abs(a.weights[d][i][j]-b.weights[d][i][j]) > 1e-12 {
+					t.Fatalf("weights diverge at [%d][%d][%d]: %v vs %v",
+						d, i, j, a.weights[d][i][j], b.weights[d][i][j])
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMinibatchEpoch(b *testing.B) {
+	samples := sineSamples(512)
+	n, _ := New(Config{LayerSizes: []int{1, 50, 50, 1}, Seed: 1})
+	tr := NewMomentumTrainer(n, 0.9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tr.TrainMinibatch(samples, 1, 32); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

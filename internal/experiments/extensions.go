@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+)
+
+// Extension experiments beyond the paper's figures: the design-space
+// studies DESIGN.md lists under ablations/extensions.
+
+// ExtensionPlacementStrategies compares CORP's Eq. 22 most-matched
+// placement against first-fit, worst-fit and random selection on a
+// heterogeneous, contended cluster — the regime where the "most matched
+// VM" choice pays off by keeping large slack blocks intact.
+func ExtensionPlacementStrategies(o Options) (*Figure, error) {
+	f := &Figure{
+		ID:     "ext-strategies",
+		Title:  "Extension: CORP placement strategies (heterogeneous, " + o.Profile.String() + ")",
+		XLabel: "metric index (0=overall util, 1=SLO rate, 2=placed opportunistically)",
+		YLabel: "value",
+	}
+	jobs := 300
+	if o.Quick {
+		jobs = 150
+	}
+	for _, name := range []string{"most-matched", "first-fit", "worst-fit", "random"} {
+		var util, slo, opp float64
+		for _, seed := range o.seeds() {
+			cfg := o.hotConfig(scheduler.CORP, jobs)
+			cfg.Heterogeneous = true
+			cfg.Seed = seed
+			cfg.Scheduler.Seed = seed
+			cfg.Scheduler.CorpPlacement = name
+			r, err := sim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: strategy %s: %w", name, err)
+			}
+			n := float64(len(o.seeds()))
+			util += r.Overall / n
+			slo += r.SLORate / n
+			opp += float64(r.PlacedOpportunistic) / n
+		}
+		s := &metrics.Series{Label: name}
+		s.Append(0, util)
+		s.Append(1, slo)
+		s.Append(2, opp)
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// ExtensionPackK compares pairwise packing (the paper) against singleton
+// and k = 3 entities under contention.
+func ExtensionPackK(o Options) (*Figure, error) {
+	f := &Figure{
+		ID:     "ext-packk",
+		Title:  "Extension: entity size k in CORP packing (" + o.Profile.String() + ")",
+		XLabel: "metric index (0=overall util, 1=SLO rate, 2=placed opportunistically)",
+		YLabel: "value",
+	}
+	jobs := 300
+	if o.Quick {
+		jobs = 150
+	}
+	for _, k := range []int{1, 2, 3} {
+		var util, slo, opp float64
+		for _, seed := range o.seeds() {
+			cfg := o.hotConfig(scheduler.CORP, jobs)
+			cfg.Seed = seed
+			cfg.Scheduler.Seed = seed
+			cfg.Scheduler.CorpPackK = k
+			if k == 1 {
+				cfg.Scheduler.DisablePacking = true
+			}
+			r, err := sim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: packK %d: %w", k, err)
+			}
+			n := float64(len(o.seeds()))
+			util += r.Overall / n
+			slo += r.SLORate / n
+			opp += float64(r.PlacedOpportunistic) / n
+		}
+		s := &metrics.Series{Label: fmt.Sprintf("k=%d", k)}
+		s.Append(0, util)
+		s.Append(1, slo)
+		s.Append(2, opp)
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}
+
+// ExtensionMixedWorkload measures the cooperative mixed-workload mode: the
+// same short-job population with increasing long-lived service load.
+func ExtensionMixedWorkload(o Options) (*Figure, error) {
+	f := &Figure{
+		ID:     "ext-mixed",
+		Title:  "Extension: cooperative long-lived + short-lived workload (" + o.Profile.String() + ")",
+		XLabel: "long-lived jobs",
+		YLabel: "value",
+	}
+	jobs := 200
+	if o.Quick {
+		jobs = 100
+	}
+	util := &metrics.Series{Label: "short-job util"}
+	cluster := &metrics.Series{Label: "cluster util"}
+	slo := &metrics.Series{Label: "SLO rate"}
+	opp := &metrics.Series{Label: "opportunistic share"}
+	f.Series = append(f.Series, util, cluster, slo, opp)
+	counts := []int{0, 10, 25, 50}
+	if o.Quick {
+		counts = []int{0, 20}
+	}
+	for _, long := range counts {
+		cfg := o.baseConfig(scheduler.CORP, jobs)
+		cfg.LongJobs = long
+		r, err := sim.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: mixed %d: %w", long, err)
+		}
+		x := float64(long)
+		util.Append(x, r.Overall)
+		cluster.Append(x, r.ClusterOverall)
+		slo.Append(x, r.SLORate)
+		placed := r.PlacedOpportunistic + r.PlacedFresh
+		if placed > 0 {
+			opp.Append(x, float64(r.PlacedOpportunistic)/float64(placed))
+		} else {
+			opp.Append(x, 0)
+		}
+		f.Notes = append(f.Notes, fmt.Sprintf("long=%d: placed %d/%d long jobs",
+			long, r.LongPlaced, long))
+	}
+	return f, nil
+}
+
+// ExtensionOracleGap measures how much headroom remains between CORP and a
+// perfect-foresight oracle sharing CORP's packing and placement — the
+// tightest upper bound on what better prediction could buy.
+func ExtensionOracleGap(o Options) (*Figure, error) {
+	f := &Figure{
+		ID:     "ext-oracle",
+		Title:  "Extension: CORP vs perfect-foresight oracle (" + o.Profile.String() + ")",
+		XLabel: "metric index (0=overall util, 1=SLO rate, 2=pred error rate)",
+		YLabel: "value",
+	}
+	jobs := 300
+	if o.Quick {
+		jobs = 150
+	}
+	for _, sc := range []scheduler.Scheme{scheduler.Oracle, scheduler.CORP, scheduler.RCCR} {
+		var util, slo, errRate float64
+		for _, seed := range o.seeds() {
+			cfg := o.hotConfig(sc, jobs)
+			cfg.Seed = seed
+			cfg.Scheduler.Seed = seed
+			r, err := sim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: oracle gap %v: %w", sc, err)
+			}
+			n := float64(len(o.seeds()))
+			util += r.Overall / n
+			slo += r.SLORate / n
+			errRate += r.PredictionErrorRate / n
+		}
+		s := &metrics.Series{Label: sc.String()}
+		s.Append(0, util)
+		s.Append(1, slo)
+		s.Append(2, errRate)
+		f.Series = append(f.Series, s)
+	}
+	return f, nil
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Markdown report rendering: corpbench -md writes the regenerated figures
+// as a self-contained report (the format EXPERIMENTS.md quotes from).
+
+// WriteMarkdown renders one figure as a Markdown section with one table
+// row per series.
+func (f *Figure) WriteMarkdown(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "## %s — %s\n\n", f.ID, f.Title); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "x = %s, y = %s\n\n", f.XLabel, f.YLabel); err != nil {
+		return err
+	}
+	// Collect the union of x values in first-seen order so series with
+	// identical sweeps share columns.
+	var xs []float64
+	seen := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	if len(xs) == 0 {
+		_, err := fmt.Fprintln(w, "_(no data)_")
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("| series |")
+	for _, x := range xs {
+		fmt.Fprintf(&b, " x=%.4g |", x)
+	}
+	b.WriteString("\n|---|")
+	for range xs {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "| %s |", s.Label)
+		byX := map[float64]float64{}
+		has := map[float64]bool{}
+		for i, x := range s.X {
+			byX[x] = s.Y[i]
+			has[x] = true
+		}
+		for _, x := range xs {
+			if has[x] {
+				fmt.Fprintf(&b, " %.4g |", byX[x])
+			} else {
+				b.WriteString(" — |")
+			}
+		}
+		b.WriteString("\n")
+	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	for _, n := range f.Notes {
+		if _, err := fmt.Fprintf(w, "\n> %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteMarkdownReport renders several figures under a title header.
+func WriteMarkdownReport(w io.Writer, title string, figs []*Figure) error {
+	if _, err := fmt.Fprintf(w, "# %s\n\n", title); err != nil {
+		return err
+	}
+	for _, f := range figs {
+		if err := f.WriteMarkdown(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,525 @@
+// Package hmm implements the hidden Markov model substrate of the paper's
+// Section III-A-1b: an H = 3 state model (over-provisioning OP,
+// normal-provisioning NP, under-provisioning UP) emitting M = 3 observation
+// symbols (peak, center, valley of the unused-resource fluctuation), with
+// scaled forward–backward (Eqs. 12–15), Viterbi decoding (Eq. 16),
+// Baum–Welch parameter re-estimation, and next-observation prediction
+// (Eq. 17).
+package hmm
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Symbol is an observation symbol. The paper's symbols 1, 2, 3 map to
+// Peak, Center, Valley.
+type Symbol int
+
+// Observation symbols (paper Section III-A-1b).
+const (
+	Peak Symbol = iota
+	Center
+	Valley
+
+	// NumSymbols is M = 3 (Table II).
+	NumSymbols = 3
+)
+
+// String names the symbol.
+func (s Symbol) String() string {
+	switch s {
+	case Peak:
+		return "peak"
+	case Center:
+		return "center"
+	case Valley:
+		return "valley"
+	default:
+		return fmt.Sprintf("Symbol(%d)", int(s))
+	}
+}
+
+// State is a hidden provisioning state.
+type State int
+
+// Hidden states (paper Fig. 3).
+const (
+	OverProvisioning State = iota
+	NormalProvisioning
+	UnderProvisioning
+
+	// NumStates is H = 3 (Table II).
+	NumStates = 3
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case OverProvisioning:
+		return "OP"
+	case NormalProvisioning:
+		return "NP"
+	case UnderProvisioning:
+		return "UP"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Model is a discrete HMM λ = (A, B, π) (Eqs. 9–11).
+type Model struct {
+	H, M int
+	A    [][]float64 // A[i][j] = P(q_{t+1}=S_j | q_t=S_i)
+	B    [][]float64 // B[j][k] = P(O_t=k | q_t=S_j)
+	Pi   []float64   // Pi[i] = P(q_1=S_i)
+}
+
+// New returns a model with slightly-perturbed uniform parameters; the
+// perturbation (deterministic in seed) breaks the symmetry Baum–Welch
+// cannot escape from exactly uniform starts.
+func New(h, m int, seed int64) (*Model, error) {
+	if h < 1 || m < 1 {
+		return nil, fmt.Errorf("hmm: invalid sizes H=%d M=%d", h, m)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	model := &Model{H: h, M: m}
+	model.A = randomStochastic(rng, h, h)
+	model.B = randomStochastic(rng, h, m)
+	model.Pi = randomStochastic(rng, 1, h)[0]
+	return model, nil
+}
+
+// NewPaperModel returns the paper's 3×3 model (H = 3 states, M = 3
+// symbols, Table II).
+func NewPaperModel(seed int64) *Model {
+	m, err := New(NumStates, NumSymbols, seed)
+	if err != nil {
+		panic("hmm: paper model construction cannot fail: " + err.Error())
+	}
+	return m
+}
+
+func randomStochastic(rng *rand.Rand, rows, cols int) [][]float64 {
+	out := make([][]float64, rows)
+	for i := range out {
+		out[i] = make([]float64, cols)
+		var sum float64
+		for j := range out[i] {
+			out[i][j] = 1 + 0.2*rng.Float64()
+			sum += out[i][j]
+		}
+		for j := range out[i] {
+			out[i][j] /= sum
+		}
+	}
+	return out
+}
+
+// Validate checks that all parameter rows are stochastic.
+func (m *Model) Validate() error {
+	if len(m.A) != m.H || len(m.B) != m.H || len(m.Pi) != m.H {
+		return errors.New("hmm: parameter shapes do not match H")
+	}
+	check := func(row []float64, what string) error {
+		var sum float64
+		for _, p := range row {
+			if p < -1e-12 || math.IsNaN(p) {
+				return fmt.Errorf("hmm: %s has invalid probability %v", what, p)
+			}
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("hmm: %s sums to %v", what, sum)
+		}
+		return nil
+	}
+	for i, row := range m.A {
+		if len(row) != m.H {
+			return fmt.Errorf("hmm: A row %d has %d cols", i, len(row))
+		}
+		if err := check(row, fmt.Sprintf("A[%d]", i)); err != nil {
+			return err
+		}
+	}
+	for i, row := range m.B {
+		if len(row) != m.M {
+			return fmt.Errorf("hmm: B row %d has %d cols", i, len(row))
+		}
+		if err := check(row, fmt.Sprintf("B[%d]", i)); err != nil {
+			return err
+		}
+	}
+	return check(m.Pi, "Pi")
+}
+
+func (m *Model) checkObs(obs []Symbol) error {
+	if len(obs) == 0 {
+		return errors.New("hmm: empty observation sequence")
+	}
+	for t, o := range obs {
+		if int(o) < 0 || int(o) >= m.M {
+			return fmt.Errorf("hmm: observation %d at t=%d outside [0,%d)", o, t, m.M)
+		}
+	}
+	return nil
+}
+
+// Forward computes the scaled forward variables α̂ (Eq. 14) and returns
+// them with the per-step scale factors and the sequence log-likelihood
+// log P(O|λ).
+func (m *Model) Forward(obs []Symbol) (alpha [][]float64, scale []float64, logProb float64, err error) {
+	if err := m.checkObs(obs); err != nil {
+		return nil, nil, 0, err
+	}
+	T := len(obs)
+	alpha = make([][]float64, T)
+	scale = make([]float64, T)
+	alpha[0] = make([]float64, m.H)
+	for i := 0; i < m.H; i++ {
+		alpha[0][i] = m.Pi[i] * m.B[i][obs[0]]
+		scale[0] += alpha[0][i]
+	}
+	if scale[0] == 0 {
+		scale[0] = math.SmallestNonzeroFloat64
+	}
+	for i := range alpha[0] {
+		alpha[0][i] /= scale[0]
+	}
+	for t := 1; t < T; t++ {
+		alpha[t] = make([]float64, m.H)
+		for j := 0; j < m.H; j++ {
+			var sum float64
+			for i := 0; i < m.H; i++ {
+				sum += alpha[t-1][i] * m.A[i][j]
+			}
+			alpha[t][j] = sum * m.B[j][obs[t]]
+			scale[t] += alpha[t][j]
+		}
+		if scale[t] == 0 {
+			scale[t] = math.SmallestNonzeroFloat64
+		}
+		for j := range alpha[t] {
+			alpha[t][j] /= scale[t]
+		}
+	}
+	for _, c := range scale {
+		logProb += math.Log(c)
+	}
+	return alpha, scale, logProb, nil
+}
+
+// Backward computes the scaled backward variables β̂ (Eq. 15) using the
+// scale factors produced by Forward on the same sequence.
+func (m *Model) Backward(obs []Symbol, scale []float64) ([][]float64, error) {
+	if err := m.checkObs(obs); err != nil {
+		return nil, err
+	}
+	T := len(obs)
+	if len(scale) != T {
+		return nil, fmt.Errorf("hmm: scale length %d, want %d", len(scale), T)
+	}
+	beta := make([][]float64, T)
+	beta[T-1] = make([]float64, m.H)
+	for i := range beta[T-1] {
+		beta[T-1][i] = 1 / scale[T-1]
+	}
+	for t := T - 2; t >= 0; t-- {
+		beta[t] = make([]float64, m.H)
+		for i := 0; i < m.H; i++ {
+			var sum float64
+			for j := 0; j < m.H; j++ {
+				sum += m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
+			}
+			beta[t][i] = sum / scale[t]
+		}
+	}
+	return beta, nil
+}
+
+// Gamma computes γ_t(i) = P(q_t = S_i | O, λ) (Eqs. 12–13) for all t.
+func (m *Model) Gamma(obs []Symbol) ([][]float64, error) {
+	alpha, scale, _, err := m.Forward(obs)
+	if err != nil {
+		return nil, err
+	}
+	beta, err := m.Backward(obs, scale)
+	if err != nil {
+		return nil, err
+	}
+	T := len(obs)
+	gamma := make([][]float64, T)
+	for t := 0; t < T; t++ {
+		gamma[t] = make([]float64, m.H)
+		var norm float64
+		for i := 0; i < m.H; i++ {
+			gamma[t][i] = alpha[t][i] * beta[t][i]
+			norm += gamma[t][i]
+		}
+		if norm > 0 {
+			for i := range gamma[t] {
+				gamma[t][i] /= norm
+			}
+		}
+	}
+	return gamma, nil
+}
+
+// MostLikelyStates solves Eq. 16: the individually most likely state at
+// each time, argmax_i γ_t(i).
+func (m *Model) MostLikelyStates(obs []Symbol) ([]State, error) {
+	gamma, err := m.Gamma(obs)
+	if err != nil {
+		return nil, err
+	}
+	path := make([]State, len(obs))
+	for t, g := range gamma {
+		best := 0
+		for i := 1; i < m.H; i++ {
+			if g[i] > g[best] {
+				best = i
+			}
+		}
+		path[t] = State(best)
+	}
+	return path, nil
+}
+
+// Viterbi returns the single best state sequence Q* maximizing P(Q, O|λ)
+// and its log probability. The paper uses Viterbi "to find the single best
+// state sequence (path)".
+func (m *Model) Viterbi(obs []Symbol) ([]State, float64, error) {
+	if err := m.checkObs(obs); err != nil {
+		return nil, 0, err
+	}
+	T := len(obs)
+	logA := logMatrix(m.A)
+	logB := logMatrix(m.B)
+	delta := make([][]float64, T)
+	psi := make([][]int, T)
+	delta[0] = make([]float64, m.H)
+	psi[0] = make([]int, m.H)
+	for i := 0; i < m.H; i++ {
+		delta[0][i] = safeLog(m.Pi[i]) + logB[i][obs[0]]
+	}
+	for t := 1; t < T; t++ {
+		delta[t] = make([]float64, m.H)
+		psi[t] = make([]int, m.H)
+		for j := 0; j < m.H; j++ {
+			best, bestI := math.Inf(-1), 0
+			for i := 0; i < m.H; i++ {
+				v := delta[t-1][i] + logA[i][j]
+				if v > best {
+					best, bestI = v, i
+				}
+			}
+			delta[t][j] = best + logB[j][obs[t]]
+			psi[t][j] = bestI
+		}
+	}
+	best, bestI := math.Inf(-1), 0
+	for i := 0; i < m.H; i++ {
+		if delta[T-1][i] > best {
+			best, bestI = delta[T-1][i], i
+		}
+	}
+	path := make([]State, T)
+	path[T-1] = State(bestI)
+	for t := T - 2; t >= 0; t-- {
+		path[t] = State(psi[t+1][path[t+1]])
+	}
+	return path, best, nil
+}
+
+func safeLog(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+func logMatrix(m [][]float64) [][]float64 {
+	out := make([][]float64, len(m))
+	for i, row := range m {
+		out[i] = make([]float64, len(row))
+		for j, p := range row {
+			out[i][j] = safeLog(p)
+		}
+	}
+	return out
+}
+
+// BaumWelch re-estimates (A, B, π) from the observation sequence using the
+// method of Stamp's tutorial (the paper's reference [30]): iterate
+// expectation (γ, ξ) and maximization until the log-likelihood improvement
+// drops below tol or maxIters is reached. It returns the final
+// log-likelihood and the number of iterations run.
+func (m *Model) BaumWelch(obs []Symbol, maxIters int, tol float64) (float64, int, error) {
+	if err := m.checkObs(obs); err != nil {
+		return 0, 0, err
+	}
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	T := len(obs)
+	prevLog := math.Inf(-1)
+	var logProb float64
+	iters := 0
+	for iter := 0; iter < maxIters; iter++ {
+		iters = iter + 1
+		alpha, scale, lp, err := m.Forward(obs)
+		if err != nil {
+			return 0, iters, err
+		}
+		logProb = lp
+		beta, err := m.Backward(obs, scale)
+		if err != nil {
+			return 0, iters, err
+		}
+		// γ and ξ accumulators.
+		gamma := make([][]float64, T)
+		xi := make([][][]float64, T-1)
+		for t := 0; t < T; t++ {
+			gamma[t] = make([]float64, m.H)
+			if t < T-1 {
+				xi[t] = make([][]float64, m.H)
+				var norm float64
+				for i := 0; i < m.H; i++ {
+					xi[t][i] = make([]float64, m.H)
+					for j := 0; j < m.H; j++ {
+						xi[t][i][j] = alpha[t][i] * m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
+						norm += xi[t][i][j]
+					}
+				}
+				if norm > 0 {
+					for i := 0; i < m.H; i++ {
+						for j := 0; j < m.H; j++ {
+							xi[t][i][j] /= norm
+							gamma[t][i] += xi[t][i][j]
+						}
+					}
+				}
+			} else {
+				var norm float64
+				for i := 0; i < m.H; i++ {
+					gamma[t][i] = alpha[t][i] * beta[t][i]
+					norm += gamma[t][i]
+				}
+				if norm > 0 {
+					for i := range gamma[t] {
+						gamma[t][i] /= norm
+					}
+				}
+			}
+		}
+		// M-step.
+		for i := 0; i < m.H; i++ {
+			m.Pi[i] = gamma[0][i]
+		}
+		for i := 0; i < m.H; i++ {
+			var denom float64
+			for t := 0; t < T-1; t++ {
+				denom += gamma[t][i]
+			}
+			for j := 0; j < m.H; j++ {
+				var num float64
+				for t := 0; t < T-1; t++ {
+					num += xi[t][i][j]
+				}
+				if denom > 0 {
+					m.A[i][j] = num / denom
+				}
+			}
+		}
+		for j := 0; j < m.H; j++ {
+			var denom float64
+			for t := 0; t < T; t++ {
+				denom += gamma[t][j]
+			}
+			for k := 0; k < m.M; k++ {
+				var num float64
+				for t := 0; t < T; t++ {
+					if int(obs[t]) == k {
+						num += gamma[t][j]
+					}
+				}
+				if denom > 0 {
+					m.B[j][k] = num / denom
+				}
+			}
+		}
+		m.renormalize()
+		if logProb-prevLog < tol && iter > 0 {
+			break
+		}
+		prevLog = logProb
+	}
+	return logProb, iters, nil
+}
+
+// renormalize nudges every row back to exactly stochastic after float
+// drift, flooring probabilities at a tiny epsilon so no transition or
+// emission becomes impossible (which would wedge Viterbi on unseen data).
+func (m *Model) renormalize() {
+	const floor = 1e-9
+	fix := func(row []float64) {
+		var sum float64
+		for i := range row {
+			if row[i] < floor {
+				row[i] = floor
+			}
+			sum += row[i]
+		}
+		for i := range row {
+			row[i] /= sum
+		}
+	}
+	for i := range m.A {
+		fix(m.A[i])
+	}
+	for i := range m.B {
+		fix(m.B[i])
+	}
+	fix(m.Pi)
+}
+
+// PredictNextSymbol implements Eq. 17: given the final Viterbi state q*_T,
+// the distribution of the next observation is
+// E[P_{T+1}(k)] = Σ_j P(q_{T+1}=S_j | q_T=q*_T) · b_j(k); the predicted
+// symbol is the argmax. It returns the symbol and the full distribution.
+func (m *Model) PredictNextSymbol(lastState State) (Symbol, []float64, error) {
+	if int(lastState) < 0 || int(lastState) >= m.H {
+		return 0, nil, fmt.Errorf("hmm: state %d outside [0,%d)", lastState, m.H)
+	}
+	dist := make([]float64, m.M)
+	for j := 0; j < m.H; j++ {
+		p := m.A[lastState][j]
+		for k := 0; k < m.M; k++ {
+			dist[k] += p * m.B[j][k]
+		}
+	}
+	best := 0
+	for k := 1; k < m.M; k++ {
+		if dist[k] > dist[best] {
+			best = k
+		}
+	}
+	return Symbol(best), dist, nil
+}
+
+// PredictNext fits nothing; it decodes the observation sequence with
+// Viterbi and applies Eq. 17 from the final state. It is the one-call
+// prediction path the CORP predictor uses each window.
+func (m *Model) PredictNext(obs []Symbol) (Symbol, error) {
+	path, _, err := m.Viterbi(obs)
+	if err != nil {
+		return 0, err
+	}
+	sym, _, err := m.PredictNextSymbol(path[len(path)-1])
+	return sym, err
+}

@@ -1,0 +1,138 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymbolForLevel(t *testing.T) {
+	s := &Symbolizer{Min: 0, Mean: 10, Max: 20} // t1=5, t2=15
+	cases := []struct {
+		level float64
+		want  Symbol
+	}{{0, Valley}, {5, Valley}, {5.1, Center}, {14.9, Center}, {15, Peak}, {25, Peak}}
+	for _, c := range cases {
+		if got := s.SymbolForLevel(c.level); got != c.want {
+			t.Errorf("SymbolForLevel(%v) = %v, want %v", c.level, got, c.want)
+		}
+	}
+}
+
+func TestObserveLevels(t *testing.T) {
+	s := &Symbolizer{Min: 0, Mean: 10, Max: 20}
+	// Window means: 2 (valley), 10 (center), 18 (peak).
+	series := []float64{1, 2, 3, 9, 10, 11, 17, 18, 19}
+	obs := s.ObserveLevels(series, 3)
+	want := []Symbol{Valley, Center, Peak}
+	if len(obs) != len(want) {
+		t.Fatalf("obs = %v", obs)
+	}
+	for i := range want {
+		if obs[i] != want[i] {
+			t.Errorf("obs[%d] = %v, want %v", i, obs[i], want[i])
+		}
+	}
+	if s.ObserveLevels([]float64{1}, 3) != nil {
+		t.Error("short series should yield nil")
+	}
+	// windowLen < 1 is raised to 1.
+	if got := s.ObserveLevels([]float64{1, 18}, 0); len(got) != 2 {
+		t.Errorf("raised window len should give 2 obs, got %v", got)
+	}
+}
+
+func TestWindowMeans(t *testing.T) {
+	got := WindowMeans([]float64{1, 3, 5, 7, 9}, 2)
+	want := []float64{2, 6} // last partial window dropped
+	if len(got) != len(want) {
+		t.Fatalf("WindowMeans = %v", got)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("WindowMeans[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if got := WindowMeans([]float64{4}, 0); len(got) != 1 || got[0] != 4 {
+		t.Errorf("windowLen raised to 1 should give identity, got %v", got)
+	}
+	if WindowMeans(nil, 3) != nil {
+		t.Error("empty series should yield nil")
+	}
+}
+
+func TestCorrectTowardBounds(t *testing.T) {
+	s := &Symbolizer{Min: 0, Mean: 6, Max: 10} // t1=3, t2=8, step=4
+	// Valley: 10 → max(3, 10−4) = 6.
+	if got := s.CorrectToward(10, Valley); got != 6 {
+		t.Errorf("valley 10 → %v, want 6", got)
+	}
+	// Valley: 5 → max(3, 5−4) = 3 (band edge bounds the move).
+	if got := s.CorrectToward(5, Valley); got != 3 {
+		t.Errorf("valley 5 → %v, want 3", got)
+	}
+	// Valley with estimate already in band: unchanged.
+	if got := s.CorrectToward(2, Valley); got != 2 {
+		t.Errorf("valley 2 → %v, want 2 (already in band)", got)
+	}
+	// Peak: 5 → min(8, 5+4) = 8 (edge bound).
+	if got := s.CorrectToward(5, Peak); got != 8 {
+		t.Errorf("peak 5 → %v, want 8", got)
+	}
+	// Peak: 1 → 1+4 = 5.
+	if got := s.CorrectToward(1, Peak); got != 5 {
+		t.Errorf("peak 1 → %v, want 5", got)
+	}
+	// Peak already above band: unchanged.
+	if got := s.CorrectToward(9, Peak); got != 9 {
+		t.Errorf("peak 9 → %v, want 9", got)
+	}
+	// Center: never moves.
+	if got := s.CorrectToward(7, Center); got != 7 {
+		t.Errorf("center 7 → %v, want 7", got)
+	}
+}
+
+// Property: CorrectToward never moves an estimate past the band edge it is
+// heading toward, moves only in the symbol's direction, and never returns
+// a negative value.
+func TestQuickCorrectTowardBounded(t *testing.T) {
+	s := &Symbolizer{Min: 0, Mean: 5, Max: 12}
+	t1, t2 := s.Thresholds()
+	f := func(raw float64, rawSym uint8) bool {
+		sym := Symbol(int(rawSym) % 3)
+		x := math.Abs(math.Mod(raw, 100))
+		if math.IsNaN(x) {
+			return true
+		}
+		got := s.CorrectToward(x, sym)
+		if got < 0 {
+			return false
+		}
+		switch sym {
+		case Valley:
+			// Moves down, never past t1 when starting above it.
+			if got > x {
+				return false
+			}
+			if x > t1 && got < t1 {
+				return false
+			}
+		case Peak:
+			if got < x {
+				return false
+			}
+			if x < t2 && got > t2 {
+				return false
+			}
+		default:
+			if got != x {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,194 @@
+package hmm
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+)
+
+// Multi-sequence training, sampling and persistence. The per-VM predictors
+// train on their own observation streams; offline calibration (cmd tools,
+// experiments) benefits from pooling many VMs' sequences into one model
+// and from saving the result.
+
+// BaumWelchMulti re-estimates the model from several independent
+// observation sequences, following Rabiner's multi-sequence extension:
+// per-sequence expected counts are accumulated and normalized jointly. It
+// returns the total log-likelihood and iteration count.
+func (m *Model) BaumWelchMulti(seqs [][]Symbol, maxIters int, tol float64) (float64, int, error) {
+	if len(seqs) == 0 {
+		return 0, 0, errors.New("hmm: no sequences")
+	}
+	for i, obs := range seqs {
+		if err := m.checkObs(obs); err != nil {
+			return 0, 0, fmt.Errorf("hmm: sequence %d: %w", i, err)
+		}
+	}
+	if maxIters <= 0 {
+		maxIters = 50
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	prevLog := math.Inf(-1)
+	var logProb float64
+	iters := 0
+	for iter := 0; iter < maxIters; iter++ {
+		iters = iter + 1
+		// Accumulators across sequences.
+		piAcc := make([]float64, m.H)
+		aNum := make([][]float64, m.H)
+		aDen := make([]float64, m.H)
+		bNum := make([][]float64, m.H)
+		bDen := make([]float64, m.H)
+		for i := 0; i < m.H; i++ {
+			aNum[i] = make([]float64, m.H)
+			bNum[i] = make([]float64, m.M)
+		}
+		logProb = 0
+		for _, obs := range seqs {
+			alpha, scale, lp, err := m.Forward(obs)
+			if err != nil {
+				return 0, iters, err
+			}
+			logProb += lp
+			beta, err := m.Backward(obs, scale)
+			if err != nil {
+				return 0, iters, err
+			}
+			T := len(obs)
+			for t := 0; t < T; t++ {
+				// γ_t(i) normalized.
+				gamma := make([]float64, m.H)
+				var norm float64
+				for i := 0; i < m.H; i++ {
+					gamma[i] = alpha[t][i] * beta[t][i]
+					norm += gamma[i]
+				}
+				if norm > 0 {
+					for i := range gamma {
+						gamma[i] /= norm
+					}
+				}
+				if t == 0 {
+					for i := 0; i < m.H; i++ {
+						piAcc[i] += gamma[i]
+					}
+				}
+				for i := 0; i < m.H; i++ {
+					bNum[i][obs[t]] += gamma[i]
+					bDen[i] += gamma[i]
+					if t < T-1 {
+						aDen[i] += gamma[i]
+					}
+				}
+				// ξ_t(i,j) normalized.
+				if t < T-1 {
+					var xnorm float64
+					xi := make([][]float64, m.H)
+					for i := 0; i < m.H; i++ {
+						xi[i] = make([]float64, m.H)
+						for j := 0; j < m.H; j++ {
+							xi[i][j] = alpha[t][i] * m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
+							xnorm += xi[i][j]
+						}
+					}
+					if xnorm > 0 {
+						for i := 0; i < m.H; i++ {
+							for j := 0; j < m.H; j++ {
+								aNum[i][j] += xi[i][j] / xnorm
+							}
+						}
+					}
+				}
+			}
+		}
+		// M-step.
+		var piNorm float64
+		for _, p := range piAcc {
+			piNorm += p
+		}
+		for i := 0; i < m.H; i++ {
+			if piNorm > 0 {
+				m.Pi[i] = piAcc[i] / piNorm
+			}
+			for j := 0; j < m.H; j++ {
+				if aDen[i] > 0 {
+					m.A[i][j] = aNum[i][j] / aDen[i]
+				}
+			}
+			for k := 0; k < m.M; k++ {
+				if bDen[i] > 0 {
+					m.B[i][k] = bNum[i][k] / bDen[i]
+				}
+			}
+		}
+		m.renormalize()
+		if logProb-prevLog < tol && iter > 0 {
+			break
+		}
+		prevLog = logProb
+	}
+	return logProb, iters, nil
+}
+
+// Sample generates an observation sequence of length n from the model,
+// returning the hidden state path alongside.
+func (m *Model) Sample(rng *rand.Rand, n int) (obs []Symbol, states []State) {
+	if n <= 0 {
+		return nil, nil
+	}
+	obs = make([]Symbol, n)
+	states = make([]State, n)
+	state := sampleIndex(m.Pi, rng)
+	for t := 0; t < n; t++ {
+		states[t] = State(state)
+		obs[t] = Symbol(sampleIndex(m.B[state], rng))
+		state = sampleIndex(m.A[state], rng)
+	}
+	return obs, states
+}
+
+func sampleIndex(dist []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	for i, p := range dist {
+		if u < p {
+			return i
+		}
+		u -= p
+	}
+	return len(dist) - 1
+}
+
+// modelJSON is the persistence shape.
+type modelJSON struct {
+	H  int         `json:"h"`
+	M  int         `json:"m"`
+	A  [][]float64 `json:"a"`
+	B  [][]float64 `json:"b"`
+	Pi []float64   `json:"pi"`
+}
+
+// Save writes the model parameters as JSON.
+func (m *Model) Save(w io.Writer) error {
+	return json.NewEncoder(w).Encode(modelJSON{H: m.H, M: m.M, A: m.A, B: m.B, Pi: m.Pi})
+}
+
+// LoadModel reads a model saved with Save and validates it.
+func LoadModel(r io.Reader) (*Model, error) {
+	var in modelJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("hmm: load: %w", err)
+	}
+	m := &Model{H: in.H, M: in.M, A: in.A, B: in.B, Pi: in.Pi}
+	if m.H < 1 || m.M < 1 {
+		return nil, fmt.Errorf("hmm: load: invalid sizes H=%d M=%d", m.H, m.M)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("hmm: load: %w", err)
+	}
+	return m, nil
+}

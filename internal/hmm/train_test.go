@@ -1,0 +1,198 @@
+package hmm
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func stickyGen() *Model {
+	return &Model{
+		H: 2, M: 2,
+		A:  [][]float64{{0.9, 0.1}, {0.15, 0.85}},
+		B:  [][]float64{{0.9, 0.1}, {0.1, 0.9}},
+		Pi: []float64{0.5, 0.5},
+	}
+}
+
+func TestSample(t *testing.T) {
+	gen := stickyGen()
+	rng := rand.New(rand.NewSource(1))
+	obs, states := gen.Sample(rng, 500)
+	if len(obs) != 500 || len(states) != 500 {
+		t.Fatalf("lengths %d/%d", len(obs), len(states))
+	}
+	// Emissions should mostly match states under 0.9 emission fidelity.
+	match := 0
+	for i := range obs {
+		if int(obs[i]) == int(states[i]) {
+			match++
+		}
+	}
+	if frac := float64(match) / 500; frac < 0.8 {
+		t.Errorf("emission fidelity %.2f, want ≈ 0.9", frac)
+	}
+	// Stickiness: state changes should be rare.
+	changes := 0
+	for i := 1; i < len(states); i++ {
+		if states[i] != states[i-1] {
+			changes++
+		}
+	}
+	if frac := float64(changes) / 499; frac > 0.25 {
+		t.Errorf("state change rate %.2f too high for sticky chain", frac)
+	}
+	if o, s := gen.Sample(rng, 0); o != nil || s != nil {
+		t.Error("n=0 should return nils")
+	}
+}
+
+func TestBaumWelchMultiImproves(t *testing.T) {
+	gen := stickyGen()
+	rng := rand.New(rand.NewSource(2))
+	var seqs [][]Symbol
+	for i := 0; i < 5; i++ {
+		obs, _ := gen.Sample(rng, 200)
+		seqs = append(seqs, obs)
+	}
+	m, err := New(2, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var before float64
+	for _, obs := range seqs {
+		_, _, lp, err := m.Forward(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before += lp
+	}
+	after, iters, err := m.BaumWelchMulti(seqs, 100, 1e-7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after <= before {
+		t.Errorf("multi-sequence training did not improve: %v → %v", before, after)
+	}
+	if iters < 2 {
+		t.Errorf("iters = %d", iters)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("model invalid after training: %v", err)
+	}
+	// Recovered chain should be sticky (diagonal dominant up to
+	// relabeling).
+	diag := m.A[0][0] + m.A[1][1]
+	anti := m.A[0][1] + m.A[1][0]
+	if diag < anti {
+		t.Errorf("expected sticky recovery, A = %v", m.A)
+	}
+}
+
+func TestBaumWelchMultiValidation(t *testing.T) {
+	m := NewPaperModel(1)
+	if _, _, err := m.BaumWelchMulti(nil, 10, 1e-6); err == nil {
+		t.Error("no sequences should fail")
+	}
+	if _, _, err := m.BaumWelchMulti([][]Symbol{{0, 5}}, 10, 1e-6); err == nil {
+		t.Error("out-of-range symbol should fail")
+	}
+}
+
+func TestBaumWelchMultiMatchesSingleOnOneSequence(t *testing.T) {
+	gen := stickyGen()
+	rng := rand.New(rand.NewSource(3))
+	obs, _ := gen.Sample(rng, 300)
+
+	single, _ := New(2, 2, 9)
+	multi, _ := New(2, 2, 9)
+	lpSingle, _, err := single.BaumWelch(obs, 30, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpMulti, _, err := multi.BaumWelchMulti([][]Symbol{obs}, 30, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lpSingle-lpMulti) > 1e-6*math.Abs(lpSingle) {
+		t.Errorf("single %v vs multi %v log-likelihood", lpSingle, lpMulti)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if math.Abs(single.A[i][j]-multi.A[i][j]) > 1e-6 {
+				t.Errorf("A[%d][%d]: single %v, multi %v", i, j, single.A[i][j], multi.A[i][j])
+			}
+		}
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	m := NewPaperModel(4)
+	obs := make([]Symbol, 60)
+	for i := range obs {
+		obs[i] = Symbol(i % 3)
+	}
+	if _, _, err := m.BaumWelch(obs, 20, 1e-6); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.H != m.H || loaded.M != m.M {
+		t.Fatalf("shape mismatch: %dx%d", loaded.H, loaded.M)
+	}
+	wantPath, wantLP, err := m.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPath, gotLP, err := loaded.Viterbi(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(wantLP-gotLP) > 1e-12 {
+		t.Errorf("Viterbi logP: %v vs %v", wantLP, gotLP)
+	}
+	for i := range wantPath {
+		if wantPath[i] != gotPath[i] {
+			t.Fatal("Viterbi paths diverge after round trip")
+		}
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"{bad json",
+		`{"h":0,"m":3,"a":[],"b":[],"pi":[]}`,
+		`{"h":2,"m":2,"a":[[0.5,0.5]],"b":[[0.5,0.5],[0.5,0.5]],"pi":[0.5,0.5]}`,
+		`{"h":2,"m":2,"a":[[0.9,0.9],[0.5,0.5]],"b":[[0.5,0.5],[0.5,0.5]],"pi":[0.5,0.5]}`,
+	}
+	for i, c := range cases {
+		if _, err := LoadModel(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func BenchmarkBaumWelchMulti(b *testing.B) {
+	gen := stickyGen()
+	rng := rand.New(rand.NewSource(5))
+	var seqs [][]Symbol
+	for i := 0; i < 8; i++ {
+		obs, _ := gen.Sample(rng, 100)
+		seqs = append(seqs, obs)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, _ := New(2, 2, int64(i))
+		if _, _, err := m.BaumWelchMulti(seqs, 10, 1e-6); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

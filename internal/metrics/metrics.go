@@ -1,0 +1,292 @@
+// Package metrics implements the paper's evaluation metrics:
+//
+//   - per-resource utilization U_{j,t} (Eq. 1),
+//   - weighted overall utilization U_{a,t} (Eq. 2),
+//   - per-resource wastage ratio w_{j,t} (Eq. 3),
+//   - weighted overall wastage ratio w_{a,t} (Eq. 4),
+//   - the prediction error rate of Fig. 6 (the fraction of jobs whose
+//     prediction error falls outside [0, ε)),
+//   - the SLO violation rate, and
+//   - time-keeping for the scheduling-overhead figures (Figs. 10/14).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/resource"
+)
+
+// Utilization computes Eq. 1 for kind j at one slot:
+// U_{j,t} = Σᵢ d_{ij,t} / Σᵢ r_{ij,t}. A zero denominator yields 0.
+func Utilization(allocated, demand []resource.Vector, j resource.Kind) float64 {
+	var num, den float64
+	for i := range allocated {
+		den += allocated[i].At(j)
+	}
+	for i := range demand {
+		num += demand[i].At(j)
+	}
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// OverallUtilization computes Eq. 2: the ω-weighted overall utilization
+// across kinds at one slot.
+func OverallUtilization(allocated, demand []resource.Vector, w resource.Weights) float64 {
+	num := resource.SumAcross(demand).Weighted(w)
+	den := resource.SumAcross(allocated).Weighted(w)
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// WastageRatio computes Eq. 3: w_{j,t} = Σᵢ(r−d) / Σᵢ r for kind j.
+func WastageRatio(allocated, demand []resource.Vector, j resource.Kind) float64 {
+	u := Utilization(allocated, demand, j)
+	return 1 - u
+}
+
+// OverallWastageRatio computes Eq. 4, the ω-weighted overall wastage.
+func OverallWastageRatio(allocated, demand []resource.Vector, w resource.Weights) float64 {
+	return 1 - OverallUtilization(allocated, demand, w)
+}
+
+// UtilizationCollector accumulates allocation/demand mass over an entire
+// run so per-kind and overall utilization can be reported across all slots
+// (the time-average of Eqs. 1–2 with slot sums pooled).
+type UtilizationCollector struct {
+	Allocated resource.Vector
+	Demand    resource.Vector
+	Slots     int
+}
+
+// Observe adds one slot's per-job totals.
+func (c *UtilizationCollector) Observe(allocated, demand resource.Vector) {
+	c.Allocated = c.Allocated.Add(allocated)
+	c.Demand = c.Demand.Add(demand)
+	c.Slots++
+}
+
+// Utilization returns the pooled utilization for kind j.
+func (c *UtilizationCollector) Utilization(j resource.Kind) float64 {
+	den := c.Allocated.At(j)
+	if den <= 0 {
+		return 0
+	}
+	return c.Demand.At(j) / den
+}
+
+// Overall returns the pooled ω-weighted utilization.
+func (c *UtilizationCollector) Overall(w resource.Weights) float64 {
+	den := c.Allocated.Weighted(w)
+	if den <= 0 {
+		return 0
+	}
+	return c.Demand.Weighted(w) / den
+}
+
+// PredictionOutcome records one job's prediction quality: the signed error
+// actual − predicted, evaluated against the tolerance ε of Eq. 21.
+type PredictionOutcome struct {
+	JobID int
+	Error float64
+}
+
+// PredictionErrorRate returns the fraction of jobs whose error falls
+// OUTSIDE [0, ε) — the complement of the paper's "ratio of the correctly
+// predicted jobs", so lower is better, matching Fig. 6's ordering
+// CORP < RCCR < CloudScale < DRA.
+func PredictionErrorRate(outcomes []PredictionOutcome, epsilon float64) float64 {
+	if len(outcomes) == 0 {
+		return 0
+	}
+	bad := 0
+	for _, o := range outcomes {
+		if o.Error < 0 || o.Error >= epsilon {
+			bad++
+		}
+	}
+	return float64(bad) / float64(len(outcomes))
+}
+
+// SLOStats tallies finished jobs against their response-time thresholds.
+type SLOStats struct {
+	Finished   int
+	Violated   int
+	Unfinished int
+}
+
+// ViolationRate returns violations / (finished + unfinished); an
+// unfinished job at the end of a run counts as violated — it certainly
+// missed its deadline.
+func (s SLOStats) ViolationRate() float64 {
+	total := s.Finished + s.Unfinished
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Violated+s.Unfinished) / float64(total)
+}
+
+// Series is a labeled (x, y) series, the unit every figure harness emits.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Append adds one point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// String renders the series as "label: (x→y) ..." for harness output.
+func (s *Series) String() string {
+	out := s.Label + ":"
+	for i := range s.X {
+		out += fmt.Sprintf(" (%.4g→%.4g)", s.X[i], s.Y[i])
+	}
+	return out
+}
+
+// Monotone reports whether Y is non-decreasing (+1), non-increasing (−1),
+// or neither (0) — used by experiment self-checks asserting figure shape.
+func (s *Series) Monotone() int {
+	inc, dec := true, true
+	for i := 1; i < len(s.Y); i++ {
+		if s.Y[i] < s.Y[i-1]-1e-12 {
+			inc = false
+		}
+		if s.Y[i] > s.Y[i-1]+1e-12 {
+			dec = false
+		}
+	}
+	switch {
+	case inc && !dec:
+		return 1
+	case dec && !inc:
+		return -1
+	case inc && dec:
+		return 1 // constant counts as non-decreasing
+	default:
+		return 0
+	}
+}
+
+// MeanY returns the mean of the Y values.
+func (s *Series) MeanY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, y := range s.Y {
+		sum += y
+	}
+	return sum / float64(len(s.Y))
+}
+
+// DominatesEverywhere reports whether s.Y[i] ≥ o.Y[i] at every shared
+// index (within slack), used to assert orderings like CORP > RCCR.
+func (s *Series) DominatesEverywhere(o *Series, slack float64) bool {
+	n := len(s.Y)
+	if len(o.Y) < n {
+		n = len(o.Y)
+	}
+	for i := 0; i < n; i++ {
+		if s.Y[i] < o.Y[i]-slack {
+			return false
+		}
+	}
+	return n > 0
+}
+
+// LatencyTracker accumulates scheduling overhead: real compute time spent
+// in scheduler decisions plus simulated communication latency, in
+// microseconds. Figs. 10/14 report this as "the latency for allocating
+// resource to 300 jobs".
+type LatencyTracker struct {
+	ComputeMicros float64
+	CommMicros    float64
+	Operations    int
+}
+
+// AddCompute records real decision-making time.
+func (l *LatencyTracker) AddCompute(micros float64) {
+	l.ComputeMicros += micros
+}
+
+// AddComm records one communication round-trip of the given cost.
+func (l *LatencyTracker) AddComm(micros float64) {
+	l.CommMicros += micros
+	l.Operations++
+}
+
+// TotalMicros returns compute + communication latency.
+func (l *LatencyTracker) TotalMicros() float64 {
+	return l.ComputeMicros + l.CommMicros
+}
+
+// TotalMillis returns the total in milliseconds.
+func (l *LatencyTracker) TotalMillis() float64 {
+	return l.TotalMicros() / 1000
+}
+
+// JainFairness computes Jain's fairness index (Σx)²/(n·Σx²) over the
+// per-job service ratios: 1.0 means every job received the same fraction
+// of its demand, 1/n means one job got everything. Empty or all-zero
+// inputs return 0.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// PercentileInt returns the p-th percentile of integer samples (nearest
+// rank); ok is false when empty.
+func PercentileInt(xs []int, p float64) (int, bool) {
+	if len(xs) == 0 {
+		return 0, false
+	}
+	sorted := append([]int(nil), xs...)
+	sort.Ints(sorted)
+	if p <= 0 {
+		return sorted[0], true
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1], true
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank], true
+}
+
+// RelativeGap returns (a−b)/b, guarding the zero denominator; handy for
+// EXPERIMENTS.md paper-vs-measured factors.
+func RelativeGap(a, b float64) float64 {
+	if b == 0 {
+		if a == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (a - b) / b
+}

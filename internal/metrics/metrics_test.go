@@ -1,0 +1,305 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/resource"
+)
+
+func TestUtilizationEq1(t *testing.T) {
+	allocated := []resource.Vector{resource.New(10, 4, 2), resource.New(10, 4, 2)}
+	demand := []resource.Vector{resource.New(5, 2, 1), resource.New(5, 2, 1)}
+	if got := Utilization(allocated, demand, resource.CPU); got != 0.5 {
+		t.Errorf("CPU utilization = %v, want 0.5", got)
+	}
+	if got := Utilization(nil, nil, resource.CPU); got != 0 {
+		t.Errorf("empty utilization = %v, want 0", got)
+	}
+}
+
+func TestOverallUtilizationEq2(t *testing.T) {
+	allocated := []resource.Vector{resource.New(10, 10, 10)}
+	demand := []resource.Vector{resource.New(5, 10, 0)}
+	w := resource.DefaultWeights() // 0.4/0.4/0.2
+	// num = 0.4·5 + 0.4·10 + 0.2·0 = 6; den = 10 → 0.6.
+	if got := OverallUtilization(allocated, demand, w); math.Abs(got-0.6) > 1e-12 {
+		t.Errorf("overall = %v, want 0.6", got)
+	}
+}
+
+func TestWastageComplementsUtilization(t *testing.T) {
+	allocated := []resource.Vector{resource.New(8, 8, 8)}
+	demand := []resource.Vector{resource.New(6, 2, 8)}
+	for _, k := range resource.Kinds() {
+		u := Utilization(allocated, demand, k)
+		wst := WastageRatio(allocated, demand, k)
+		if math.Abs(u+wst-1) > 1e-12 {
+			t.Errorf("kind %v: U + w = %v, want 1", k, u+wst)
+		}
+	}
+	w := resource.DefaultWeights()
+	if math.Abs(OverallUtilization(allocated, demand, w)+OverallWastageRatio(allocated, demand, w)-1) > 1e-12 {
+		t.Error("overall wastage does not complement overall utilization")
+	}
+}
+
+func TestUtilizationCollector(t *testing.T) {
+	var c UtilizationCollector
+	c.Observe(resource.New(10, 10, 10), resource.New(5, 5, 5))
+	c.Observe(resource.New(10, 10, 10), resource.New(10, 5, 0))
+	if c.Slots != 2 {
+		t.Errorf("Slots = %d", c.Slots)
+	}
+	if got := c.Utilization(resource.CPU); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("pooled CPU utilization = %v, want 0.75", got)
+	}
+	overall := c.Overall(resource.DefaultWeights())
+	// demand weighted: 0.4·15 + 0.4·10 + 0.2·5 = 11; alloc: 0.4·20+0.4·20+0.2·20 = 20.
+	if math.Abs(overall-0.55) > 1e-12 {
+		t.Errorf("pooled overall = %v, want 0.55", overall)
+	}
+	var empty UtilizationCollector
+	if empty.Utilization(resource.CPU) != 0 || empty.Overall(resource.DefaultWeights()) != 0 {
+		t.Error("empty collector should report zero")
+	}
+}
+
+func TestPredictionErrorRate(t *testing.T) {
+	outcomes := []PredictionOutcome{
+		{JobID: 0, Error: 0.0},  // in [0, ε) → correct
+		{JobID: 1, Error: 0.05}, // correct
+		{JobID: 2, Error: -0.1}, // negative → wrong (overestimate)
+		{JobID: 3, Error: 0.2},  // ≥ ε → wrong
+	}
+	if got := PredictionErrorRate(outcomes, 0.1); got != 0.5 {
+		t.Errorf("error rate = %v, want 0.5", got)
+	}
+	if PredictionErrorRate(nil, 0.1) != 0 {
+		t.Error("empty outcomes should be 0")
+	}
+}
+
+func TestSLOStats(t *testing.T) {
+	s := SLOStats{Finished: 8, Violated: 2, Unfinished: 2}
+	// (2 + 2) / (8 + 2) = 0.4.
+	if got := s.ViolationRate(); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("violation rate = %v, want 0.4", got)
+	}
+	if (SLOStats{}).ViolationRate() != 0 {
+		t.Error("empty stats should be 0")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Label = "CORP"
+	s.Append(50, 0.6)
+	s.Append(100, 0.7)
+	s.Append(150, 0.8)
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Monotone() != 1 {
+		t.Errorf("Monotone = %d, want 1", s.Monotone())
+	}
+	if math.Abs(s.MeanY()-0.7) > 1e-12 {
+		t.Errorf("MeanY = %v", s.MeanY())
+	}
+	if !strings.HasPrefix(s.String(), "CORP:") {
+		t.Errorf("String = %q", s.String())
+	}
+	var d Series
+	d.Append(50, 0.9)
+	d.Append(100, 0.2)
+	d.Append(150, 0.95)
+	if d.Monotone() != 0 {
+		t.Errorf("non-monotone series misclassified: %d", d.Monotone())
+	}
+	var dec Series
+	dec.Append(1, 3)
+	dec.Append(2, 2)
+	if dec.Monotone() != -1 {
+		t.Errorf("decreasing series misclassified: %d", dec.Monotone())
+	}
+	var flat Series
+	flat.Append(1, 2)
+	flat.Append(2, 2)
+	if flat.Monotone() != 1 {
+		t.Error("constant series should count as non-decreasing")
+	}
+	if (&Series{}).MeanY() != 0 {
+		t.Error("empty MeanY should be 0")
+	}
+}
+
+func TestDominatesEverywhere(t *testing.T) {
+	a := &Series{Y: []float64{0.8, 0.9, 0.95}}
+	b := &Series{Y: []float64{0.7, 0.85, 0.9}}
+	if !a.DominatesEverywhere(b, 0) {
+		t.Error("a should dominate b")
+	}
+	if b.DominatesEverywhere(a, 0) {
+		t.Error("b should not dominate a")
+	}
+	// Slack forgives small inversions.
+	c := &Series{Y: []float64{0.69, 0.9, 0.99}}
+	if !c.DominatesEverywhere(b, 0.02) {
+		t.Error("slack should forgive a 0.01 inversion")
+	}
+	if (&Series{}).DominatesEverywhere(&Series{}, 0) {
+		t.Error("empty series should not dominate")
+	}
+}
+
+func TestLatencyTracker(t *testing.T) {
+	var l LatencyTracker
+	l.AddCompute(500)
+	l.AddComm(250)
+	l.AddComm(250)
+	if l.Operations != 2 {
+		t.Errorf("Operations = %d", l.Operations)
+	}
+	if l.TotalMicros() != 1000 {
+		t.Errorf("TotalMicros = %v", l.TotalMicros())
+	}
+	if l.TotalMillis() != 1 {
+		t.Errorf("TotalMillis = %v", l.TotalMillis())
+	}
+}
+
+func TestRelativeGap(t *testing.T) {
+	if got := RelativeGap(12, 10); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("gap = %v", got)
+	}
+	if RelativeGap(0, 0) != 0 {
+		t.Error("0/0 gap should be 0")
+	}
+	if !math.IsInf(RelativeGap(1, 0), 1) {
+		t.Error("x/0 gap should be +Inf")
+	}
+}
+
+// Property: utilization is always in [0, 1] when demand ≤ allocated
+// element-wise, and wastage complements it.
+func TestQuickUtilizationBounds(t *testing.T) {
+	f := func(alloc resource.Vector, fracRaw float64) bool {
+		alloc = alloc.ClampNonNegative()
+		for i := range alloc {
+			if math.IsInf(alloc[i], 0) || math.IsNaN(alloc[i]) {
+				return true
+			}
+		}
+		frac := math.Abs(math.Mod(fracRaw, 1))
+		if math.IsNaN(frac) {
+			frac = 0.5
+		}
+		demand := alloc.Scale(frac)
+		a := []resource.Vector{alloc}
+		d := []resource.Vector{demand}
+		for _, k := range resource.Kinds() {
+			u := Utilization(a, d, k)
+			if u < 0 || u > 1+1e-9 {
+				return false
+			}
+		}
+		overall := OverallUtilization(a, d, resource.DefaultWeights())
+		return overall >= 0 && overall <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PredictionErrorRate is within [0, 1] and monotone
+// non-increasing in ε.
+func TestQuickErrorRateMonotoneInEpsilon(t *testing.T) {
+	f := func(errs []float64, e1, e2 float64) bool {
+		outcomes := make([]PredictionOutcome, len(errs))
+		for i, e := range errs {
+			if math.IsNaN(e) {
+				e = 0
+			}
+			outcomes[i] = PredictionOutcome{JobID: i, Error: math.Mod(e, 10)}
+		}
+		a := math.Abs(math.Mod(e1, 5))
+		b := math.Abs(math.Mod(e2, 5))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		rLo := PredictionErrorRate(outcomes, lo)
+		rHi := PredictionErrorRate(outcomes, hi)
+		return rLo >= 0 && rLo <= 1 && rHi >= 0 && rHi <= 1 && rHi <= rLo
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	if JainFairness(nil) != 0 {
+		t.Error("empty should be 0")
+	}
+	if JainFairness([]float64{0, 0}) != 0 {
+		t.Error("all-zero should be 0")
+	}
+	if got := JainFairness([]float64{1, 1, 1, 1}); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares fairness = %v, want 1", got)
+	}
+	// One job gets everything: 1/n.
+	if got := JainFairness([]float64{4, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("monopoly fairness = %v, want 0.25", got)
+	}
+}
+
+func TestPercentileInt(t *testing.T) {
+	if _, ok := PercentileInt(nil, 50); ok {
+		t.Error("empty should not be ok")
+	}
+	xs := []int{5, 1, 9, 3, 7}
+	if p, _ := PercentileInt(xs, 0); p != 1 {
+		t.Errorf("p0 = %d", p)
+	}
+	if p, _ := PercentileInt(xs, 100); p != 9 {
+		t.Errorf("p100 = %d", p)
+	}
+	if p, _ := PercentileInt(xs, 50); p != 5 {
+		t.Errorf("p50 = %d", p)
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("PercentileInt mutated input")
+	}
+}
+
+// Property: Jain's index lies in [1/n, 1] for non-negative non-zero input.
+func TestQuickJainBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		nonzero := false
+		for i, x := range raw {
+			xs[i] = math.Abs(math.Mod(x, 100))
+			if math.IsNaN(xs[i]) {
+				xs[i] = 0
+			}
+			if xs[i] > 0 {
+				nonzero = true
+			}
+		}
+		got := JainFairness(xs)
+		if !nonzero {
+			return got == 0
+		}
+		n := float64(len(xs))
+		return got >= 1/n-1e-9 && got <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,157 @@
+package packing
+
+import (
+	"math/rand"
+
+	"repro/internal/job"
+	"repro/internal/resource"
+)
+
+// Extensions beyond the paper's pairwise packing and most-matched
+// placement: k-way entities and alternative placement strategies, used by
+// the ablation benches to quantify how much each of the paper's choices
+// contributes.
+
+// PackK generalizes Pack to entities of up to k jobs: each anchor greedily
+// absorbs the highest-deviation partner with a dominant resource not yet
+// in the entity, until k members or no candidate remains. PackK(jobs, ref,
+// 2) matches Pack. k < 2 yields singletons.
+func PackK(jobs []*job.Job, reference resource.Vector, k int) []Entity {
+	if k < 2 {
+		var out []Entity
+		for _, j := range jobs {
+			out = append(out, NewEntity(j))
+		}
+		return out
+	}
+	used := make([]bool, len(jobs))
+	dominant := make([]resource.Kind, len(jobs))
+	peaks := make([]resource.Vector, len(jobs))
+	for i, j := range jobs {
+		peaks[i] = j.PeakDemand()
+		dominant[i] = peaks[i].Dominant(reference)
+	}
+	var entities []Entity
+	for i, j := range jobs {
+		if used[i] {
+			continue
+		}
+		used[i] = true
+		members := []*job.Job{j}
+		have := map[resource.Kind]bool{dominant[i]: true}
+		sum := peaks[i]
+		for len(members) < k {
+			best := -1
+			bestDV := -1.0
+			for cand := range jobs {
+				if used[cand] || have[dominant[cand]] {
+					continue
+				}
+				if dv := Deviation(sum, peaks[cand]); dv > bestDV {
+					bestDV = dv
+					best = cand
+				}
+			}
+			if best < 0 {
+				break
+			}
+			used[best] = true
+			members = append(members, jobs[best])
+			have[dominant[best]] = true
+			sum = sum.Add(peaks[best])
+		}
+		entities = append(entities, NewEntity(members...))
+	}
+	return entities
+}
+
+// Strategy selects a VM for a demand among candidates. Implementations
+// must not mutate the candidate slice.
+type Strategy interface {
+	// Name identifies the strategy.
+	Name() string
+	// Choose returns the chosen candidate's VM; ok is false when nothing
+	// fits.
+	Choose(demand resource.Vector, candidates []Candidate, maxCapacity resource.Vector) (vm int, ok bool)
+}
+
+// MostMatched is the paper's Eq. 22 strategy (smallest adequate volume).
+type MostMatched struct{}
+
+// Name implements Strategy.
+func (MostMatched) Name() string { return "most-matched" }
+
+// Choose implements Strategy.
+func (MostMatched) Choose(demand resource.Vector, candidates []Candidate, maxCapacity resource.Vector) (int, bool) {
+	return Place(demand, candidates, maxCapacity)
+}
+
+// FirstFit picks the first candidate (by slice order) that satisfies the
+// demand — the classic baseline bin-packing heuristic.
+type FirstFit struct{}
+
+// Name implements Strategy.
+func (FirstFit) Name() string { return "first-fit" }
+
+// Choose implements Strategy.
+func (FirstFit) Choose(demand resource.Vector, candidates []Candidate, _ resource.Vector) (int, bool) {
+	for _, c := range candidates {
+		if demand.FitsIn(c.Available) {
+			return c.VM, true
+		}
+	}
+	return 0, false
+}
+
+// WorstFit picks the fitting candidate with the LARGEST volume, spreading
+// load — the opposite of most-matched.
+type WorstFit struct{}
+
+// Name implements Strategy.
+func (WorstFit) Name() string { return "worst-fit" }
+
+// Choose implements Strategy.
+func (WorstFit) Choose(demand resource.Vector, candidates []Candidate, maxCapacity resource.Vector) (int, bool) {
+	bestVM := -1
+	bestVol := -1.0
+	for _, c := range candidates {
+		if !demand.FitsIn(c.Available) {
+			continue
+		}
+		vol := c.Available.Volume(maxCapacity)
+		if bestVM < 0 || vol > bestVol || (vol == bestVol && c.VM < bestVM) {
+			bestVM = c.VM
+			bestVol = vol
+		}
+	}
+	if bestVM < 0 {
+		return 0, false
+	}
+	return bestVM, true
+}
+
+// RandomFit picks a uniformly random fitting candidate — the baselines'
+// placement rule in the paper's evaluation.
+type RandomFit struct {
+	Rng *rand.Rand
+}
+
+// Name implements Strategy.
+func (RandomFit) Name() string { return "random-fit" }
+
+// Choose implements Strategy.
+func (r RandomFit) Choose(demand resource.Vector, candidates []Candidate, _ resource.Vector) (int, bool) {
+	var fits []int
+	for _, c := range candidates {
+		if demand.FitsIn(c.Available) {
+			fits = append(fits, c.VM)
+		}
+	}
+	if len(fits) == 0 {
+		return 0, false
+	}
+	if r.Rng == nil {
+		return fits[0], true
+	}
+	return fits[r.Rng.Intn(len(fits))], true
+}

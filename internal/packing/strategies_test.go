@@ -1,0 +1,176 @@
+package packing
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/resource"
+)
+
+func TestPackKSingletons(t *testing.T) {
+	jobs := []*job.Job{mkJob(0, 8, 1, 1), mkJob(1, 1, 8, 1)}
+	out := PackK(jobs, resource.Uniform(10), 1)
+	if len(out) != 2 {
+		t.Fatalf("k=1 should yield singletons, got %d entities", len(out))
+	}
+}
+
+func TestPackKMatchesPackForPairs(t *testing.T) {
+	ref := resource.New(10, 10, 10)
+	jobs := []*job.Job{
+		mkJob(0, 8, 1, 1), mkJob(1, 1, 8, 1), mkJob(2, 7, 1, 1), mkJob(3, 1, 1, 8),
+	}
+	a := Pack(jobs, ref)
+	b := PackK(jobs, ref, 2)
+	if len(a) != len(b) {
+		t.Fatalf("Pack %d entities vs PackK %d", len(a), len(b))
+	}
+	for i := range a {
+		if len(a[i].Jobs) != len(b[i].Jobs) {
+			t.Fatalf("entity %d sizes differ", i)
+		}
+		for j := range a[i].Jobs {
+			if a[i].Jobs[j].ID != b[i].Jobs[j].ID {
+				t.Errorf("entity %d member %d: %d vs %d", i, j, a[i].Jobs[j].ID, b[i].Jobs[j].ID)
+			}
+		}
+	}
+}
+
+func TestPackKTriples(t *testing.T) {
+	ref := resource.New(10, 10, 10)
+	jobs := []*job.Job{
+		mkJob(0, 8, 1, 1), // CPU
+		mkJob(1, 1, 8, 1), // MEM
+		mkJob(2, 1, 1, 8), // STO
+	}
+	out := PackK(jobs, ref, 3)
+	if len(out) != 1 {
+		t.Fatalf("three complementary jobs should form one entity, got %d", len(out))
+	}
+	if len(out[0].Jobs) != 3 {
+		t.Errorf("entity has %d members", len(out[0].Jobs))
+	}
+	// A fourth CPU job cannot join (dominant already present).
+	jobs = append(jobs, mkJob(3, 7, 1, 1))
+	out = PackK(jobs, ref, 3)
+	if len(out) != 2 {
+		t.Fatalf("got %d entities, want 2", len(out))
+	}
+}
+
+// Property: PackK preserves every job exactly once and respects k.
+func TestPackKPartition(t *testing.T) {
+	ref := resource.New(10, 10, 10)
+	var jobs []*job.Job
+	for i := 0; i < 30; i++ {
+		jobs = append(jobs, mkJob(i, float64(i%9)+0.5, float64((i*3)%9)+0.5, float64((i*7)%9)+0.5))
+	}
+	for _, k := range []int{1, 2, 3} {
+		seen := map[job.ID]int{}
+		for _, e := range PackK(jobs, ref, k) {
+			if len(e.Jobs) < 1 || (k >= 2 && len(e.Jobs) > k) || (k < 2 && len(e.Jobs) != 1) {
+				t.Fatalf("k=%d: entity size %d", k, len(e.Jobs))
+			}
+			for _, j := range e.Jobs {
+				seen[j.ID]++
+			}
+		}
+		if len(seen) != len(jobs) {
+			t.Fatalf("k=%d: %d jobs seen of %d", k, len(seen), len(jobs))
+		}
+		for id, c := range seen {
+			if c != 1 {
+				t.Fatalf("k=%d: job %d appears %d times", k, id, c)
+			}
+		}
+	}
+}
+
+func strategyCandidates() []Candidate {
+	return []Candidate{
+		{VM: 0, Available: resource.New(2, 2, 2)},
+		{VM: 1, Available: resource.New(9, 9, 9)},
+		{VM: 2, Available: resource.New(4, 4, 4)},
+	}
+}
+
+func TestMostMatchedStrategy(t *testing.T) {
+	vm, ok := MostMatched{}.Choose(resource.Uniform(1), strategyCandidates(), resource.Uniform(10))
+	if !ok || vm != 0 {
+		t.Errorf("most-matched chose %d (ok=%v), want 0", vm, ok)
+	}
+	if (MostMatched{}).Name() != "most-matched" {
+		t.Error("name wrong")
+	}
+}
+
+func TestFirstFitStrategy(t *testing.T) {
+	// Demand 3: VM0 (2) fails; VM1 fits first in order.
+	vm, ok := FirstFit{}.Choose(resource.Uniform(3), strategyCandidates(), resource.Uniform(10))
+	if !ok || vm != 1 {
+		t.Errorf("first-fit chose %d, want 1", vm)
+	}
+	if _, ok := (FirstFit{}).Choose(resource.Uniform(99), strategyCandidates(), resource.Uniform(10)); ok {
+		t.Error("oversized demand should not fit")
+	}
+}
+
+func TestWorstFitStrategy(t *testing.T) {
+	vm, ok := WorstFit{}.Choose(resource.Uniform(1), strategyCandidates(), resource.Uniform(10))
+	if !ok || vm != 1 {
+		t.Errorf("worst-fit chose %d, want the biggest pool (1)", vm)
+	}
+	if _, ok := (WorstFit{}).Choose(resource.Uniform(99), strategyCandidates(), resource.Uniform(10)); ok {
+		t.Error("oversized demand should not fit")
+	}
+}
+
+func TestRandomFitStrategy(t *testing.T) {
+	r := RandomFit{Rng: rand.New(rand.NewSource(1))}
+	counts := map[int]int{}
+	for i := 0; i < 300; i++ {
+		vm, ok := r.Choose(resource.Uniform(1), strategyCandidates(), resource.Uniform(10))
+		if !ok {
+			t.Fatal("should fit")
+		}
+		counts[vm]++
+	}
+	for _, vm := range []int{0, 1, 2} {
+		if counts[vm] < 50 {
+			t.Errorf("VM %d chosen only %d/300 times; not uniform", vm, counts[vm])
+		}
+	}
+	// Nil RNG degrades to first fit.
+	vm, ok := (RandomFit{}).Choose(resource.Uniform(1), strategyCandidates(), resource.Uniform(10))
+	if !ok || vm != 0 {
+		t.Errorf("nil-rng random fit chose %d", vm)
+	}
+}
+
+// Property: every strategy returns only candidates that fit.
+func TestStrategiesOnlyReturnFits(t *testing.T) {
+	strategies := []Strategy{MostMatched{}, FirstFit{}, WorstFit{}, RandomFit{Rng: rand.New(rand.NewSource(2))}}
+	ref := resource.Uniform(10)
+	for trial := 0; trial < 200; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		var candidates []Candidate
+		for i := 0; i < 6; i++ {
+			candidates = append(candidates, Candidate{
+				VM:        i,
+				Available: resource.New(rng.Float64()*8, rng.Float64()*8, rng.Float64()*8),
+			})
+		}
+		demand := resource.Uniform(rng.Float64() * 8)
+		for _, s := range strategies {
+			vm, ok := s.Choose(demand, candidates, ref)
+			if !ok {
+				continue
+			}
+			if !demand.FitsIn(candidates[vm].Available) {
+				t.Fatalf("%s returned VM %d that does not fit", s.Name(), vm)
+			}
+		}
+	}
+}

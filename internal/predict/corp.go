@@ -1,0 +1,392 @@
+package predict
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/dnn"
+	"repro/internal/hmm"
+	"repro/internal/resource"
+	"repro/internal/stats"
+)
+
+// CorpConfig parameterizes the CORP predictor (paper Table II defaults).
+type CorpConfig struct {
+	// InputSlots is Δ, how many recent slots feed the DNN. Zero defaults
+	// to 12 (two windows of history at L = 6).
+	InputSlots int
+	// Window is L, the prediction horizon in slots. Zero defaults to 6
+	// (one minute of 10-second slots, the paper's choice).
+	Window int
+	// HiddenLayers and UnitsPerLayer fix the DNN topology; zero defaults
+	// to 2 hidden layers of 50 units — with input and output that is the
+	// paper's h = 4 layers × 50 units.
+	HiddenLayers  int
+	UnitsPerLayer int
+	// LearningRate is μ of Eq. 8; zero defaults to 0.5.
+	LearningRate float64
+	// Eta is the confidence level η; zero defaults to 0.80, the upper-middle
+	// of Table II’s 50–90% range.
+	Eta float64
+	// Epsilon is the capacity-relative prediction error tolerance ε of
+	// Eq. 21; zero defaults to 0.10.
+	Epsilon float64
+	// Pth is the probability threshold of Eq. 21; zero defaults to 0.95
+	// (Table II).
+	Pth float64
+	// HistoryLen bounds per-kind history; zero defaults to 120 slots.
+	HistoryLen int
+	// HMMRefit is how many predictions elapse between Baum–Welch refits;
+	// zero defaults to 8.
+	HMMRefit int
+	// ReplaySteps is how many stored samples each online training step
+	// replays (the multi-epoch approximation). Zero defaults to 5; fleet
+	// deployments that feed the shared brain from many VMs can lower it.
+	ReplaySteps int
+	// Seed drives DNN initialization and HMM perturbation.
+	Seed int64
+	// DisableHMM and DisableCI switch off the fluctuation correction and
+	// the confidence-interval adjustment; used by the ablation benches.
+	DisableHMM bool
+	DisableCI  bool
+}
+
+func (c CorpConfig) withDefaults() CorpConfig {
+	if c.InputSlots <= 0 {
+		c.InputSlots = 12
+	}
+	if c.Window <= 0 {
+		c.Window = 6
+	}
+	if c.HiddenLayers <= 0 {
+		c.HiddenLayers = 2
+	}
+	if c.UnitsPerLayer <= 0 {
+		c.UnitsPerLayer = 50
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.5
+	}
+	if c.Eta <= 0 {
+		c.Eta = 0.80
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.10
+	}
+	if c.Pth <= 0 {
+		c.Pth = 0.95
+	}
+	if c.HistoryLen <= 0 {
+		c.HistoryLen = 120
+	}
+	if c.HMMRefit <= 0 {
+		c.HMMRefit = 8
+	}
+	if c.ReplaySteps <= 0 {
+		c.ReplaySteps = 5
+	}
+	return c
+}
+
+// CorpBrain is the per-kind DNN shared by every VM's CORP predictor: all
+// VMs feed training samples into the same networks, mirroring the paper's
+// single model trained on the whole trace. Not safe for concurrent use.
+// Each incoming sample is also pushed into a replay ring; every online
+// step additionally replays a few past samples, approximating the paper's
+// multi-epoch training loop without buffering the whole trace.
+type CorpBrain struct {
+	cfg  CorpConfig
+	nets [resource.NumKinds]*dnn.Network
+	// trainSteps counts SGD updates, exposed for overhead accounting.
+	trainSteps int
+
+	replay    [resource.NumKinds][]dnn.Sample
+	replayPos [resource.NumKinds]int
+	rng       *rand.Rand
+}
+
+// NewCorpBrain builds the shared networks.
+func NewCorpBrain(cfg CorpConfig) (*CorpBrain, error) {
+	cfg = cfg.withDefaults()
+	b := &CorpBrain{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x7ab))}
+	sizes := []int{cfg.InputSlots}
+	for i := 0; i < cfg.HiddenLayers; i++ {
+		sizes = append(sizes, cfg.UnitsPerLayer)
+	}
+	sizes = append(sizes, 1)
+	for k := range b.nets {
+		net, err := dnn.New(dnn.Config{
+			LayerSizes:   sizes,
+			LearningRate: cfg.LearningRate,
+			Seed:         cfg.Seed + int64(k),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("predict: corp brain: %w", err)
+		}
+		b.nets[k] = net
+	}
+	return b, nil
+}
+
+// TrainSteps returns the number of SGD updates performed so far.
+func (b *CorpBrain) TrainSteps() int { return b.trainSteps }
+
+// replayCap bounds the per-kind replay ring.
+const replayCap = 4096
+
+// train performs one online SGD step for kind k on the new sample plus a
+// few replayed past samples.
+func (b *CorpBrain) train(k resource.Kind, input []float64, target float64) error {
+	if _, err := b.nets[k].TrainSample(input, []float64{target}); err != nil {
+		return err
+	}
+	b.trainSteps++
+	sample := dnn.Sample{Input: append([]float64(nil), input...), Target: []float64{target}}
+	if len(b.replay[k]) < replayCap {
+		b.replay[k] = append(b.replay[k], sample)
+	} else {
+		b.replay[k][b.replayPos[k]] = sample
+		b.replayPos[k] = (b.replayPos[k] + 1) % replayCap
+	}
+	for i := 0; i < b.cfg.ReplaySteps && len(b.replay[k]) > 1; i++ {
+		s := b.replay[k][b.rng.Intn(len(b.replay[k]))]
+		if _, err := b.nets[k].TrainSample(s.Input, s.Target); err != nil {
+			return err
+		}
+		b.trainSteps++
+	}
+	return nil
+}
+
+// forward evaluates the kind-k network.
+func (b *CorpBrain) forward(k resource.Kind, input []float64) (float64, error) {
+	out, err := b.nets[k].Forward(input)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// CorpPredictor is one VM's CORP prediction pipeline.
+type CorpPredictor struct {
+	cfg   CorpConfig
+	brain *CorpBrain
+	track *tracker
+
+	hmms        [resource.NumKinds]*hmm.Model
+	predictions int
+	scratch     []float64
+
+	// HMM trust tracking: each window the previous symbol prediction is
+	// scored against the realized band; the correction only fires while
+	// the HMM is beating chance on this VM's trace.
+	symPred [resource.NumKinds]hmm.Symbol
+	symHave [resource.NumKinds]bool
+	symHit  [resource.NumKinds]int
+	symSeen [resource.NumKinds]int
+}
+
+// NewCorpPredictor builds a predictor for a VM of the given capacity,
+// sharing the brain's networks.
+func NewCorpPredictor(brain *CorpBrain, capacity resource.Vector, seed int64) *CorpPredictor {
+	cfg := brain.cfg
+	p := &CorpPredictor{
+		cfg:     cfg,
+		brain:   brain,
+		track:   newTracker(cfg.Window, cfg.HistoryLen, capacity),
+		scratch: make([]float64, cfg.InputSlots),
+	}
+	for k := range p.hmms {
+		p.hmms[k] = hmm.NewPaperModel(seed + int64(k))
+	}
+	return p
+}
+
+// Name implements Predictor.
+func (p *CorpPredictor) Name() string { return "CORP" }
+
+// Observe implements Predictor: it records the sample and performs one
+// online SGD step per kind once enough history exists (input: the Δ slots
+// preceding the last window; target: the realized mean of that window).
+func (p *CorpPredictor) Observe(actual resource.Vector) {
+	p.track.observe(actual)
+	need := p.cfg.InputSlots + p.cfg.Window
+	for _, k := range resource.Kinds() {
+		vals := p.track.histValues(k)
+		if len(vals) < need {
+			continue
+		}
+		capK := p.track.capacity[k]
+		if capK <= 0 {
+			continue
+		}
+		// Input: Δ slots ending one window ago; target: mean of the
+		// window that just completed.
+		inStart := len(vals) - need
+		for i := 0; i < p.cfg.InputSlots; i++ {
+			p.scratch[i] = clamp01(vals[inStart+i] / capK)
+		}
+		target := clamp01(stats.Mean(vals[len(vals)-p.cfg.Window:]) / capK)
+		// Errors here are impossible by construction (sizes match);
+		// surfacing them would force every caller to handle a
+		// can't-happen branch.
+		_ = p.brain.train(k, p.scratch, target)
+	}
+}
+
+// Predict implements Predictor: DNN estimate, HMM peak/valley correction,
+// confidence-interval adjustment, Eq. 21 gate.
+func (p *CorpPredictor) Predict() Prediction {
+	p.predictions++
+	var out resource.Vector
+	unlocked := true
+	z := stats.ZForConfidence(p.cfg.Eta)
+	for _, k := range resource.Kinds() {
+		vals := p.track.histValues(k)
+		capK := p.track.capacity[k]
+		var yhat float64
+		if len(vals) < p.cfg.InputSlots || capK <= 0 {
+			// Cold start: fall back to the historical mean.
+			yhat = stats.Mean(vals)
+		} else {
+			for i := 0; i < p.cfg.InputSlots; i++ {
+				p.scratch[i] = clamp01(vals[len(vals)-p.cfg.InputSlots+i] / capK)
+			}
+			norm, err := p.brain.forward(k, p.scratch)
+			if err != nil {
+				norm = clamp01(stats.Mean(vals) / capK)
+			}
+			yhat = norm * capK
+		}
+		if !p.cfg.DisableHMM {
+			yhat = p.hmmCorrect(k, vals, yhat)
+		}
+		if !p.cfg.DisableCI {
+			yhat -= p.track.errStdDev(k) * z // Eq. 19 lower bound
+		}
+		if yhat < 0 {
+			yhat = 0
+		}
+		out[k] = yhat
+		// Eq. 21: enough evidence that errors land in [0, ε).
+		frac, n := p.track.errWithin(k, p.cfg.Epsilon)
+		if n < 8 || frac < p.cfg.Pth {
+			unlocked = false
+		}
+	}
+	out = p.track.clampToCapacity(out)
+	p.track.recordPrediction(out)
+	return Prediction{Unused: out, Unlocked: unlocked}
+}
+
+// hmmCorrect applies the Section III-A-1b fluctuation correction for one
+// kind: symbolize the history, refit the HMM periodically, predict the
+// next symbol (Eq. 17), and shift the estimate by min(h−m, m−l).
+//
+// Symbols and the correction magnitude are computed over window means (see
+// hmm.ObserveLevels) so the correction operates in the same units as the
+// DNN's window-mean estimate.
+func (p *CorpPredictor) hmmCorrect(k resource.Kind, vals []float64, yhat float64) float64 {
+	means := hmm.WindowMeans(vals, p.cfg.Window)
+	sym, err := hmm.NewSymbolizer(means)
+	if err != nil {
+		return yhat
+	}
+	obs := sym.ObserveLevels(vals, p.cfg.Window)
+	if len(obs) < 5 {
+		return yhat
+	}
+	model := p.hmms[k]
+	if p.predictions%p.cfg.HMMRefit == 1 {
+		// A few EM iterations on the recent observation sequence; the
+		// model warm-starts from its previous parameters.
+		if _, _, err := model.BaumWelch(obs, 5, 1e-5); err != nil {
+			return yhat
+		}
+	}
+	path, _, err := model.Viterbi(obs)
+	if err != nil {
+		return yhat
+	}
+	next, dist, err := model.PredictNextSymbol(path[len(path)-1])
+	if err != nil {
+		return yhat
+	}
+	// Score the previous window's symbol prediction against the realized
+	// band, maintaining a running trust estimate.
+	if p.symHave[k] {
+		p.symSeen[k]++
+		if p.symPred[k] == sym.SymbolForLevel(means[len(means)-1]) {
+			p.symHit[k]++
+		}
+	}
+	p.symPred[k] = next
+	p.symHave[k] = true
+	// Only correct when the Eq. 17 distribution is decisive AND the HMM
+	// has demonstrated better-than-chance symbol accuracy here; a
+	// hesitant or miscalibrated HMM would inject noise into an
+	// already-good DNN estimate.
+	if dist[next] < 0.5 {
+		return yhat
+	}
+	if p.symSeen[k] >= 8 && float64(p.symHit[k]) < 0.55*float64(p.symSeen[k]) {
+		return yhat
+	}
+	return sym.CorrectToward(yhat, next)
+}
+
+// DrainOutcomes implements Predictor.
+func (p *CorpPredictor) DrainOutcomes() []ErrorSample {
+	return p.track.drainOutcomes()
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Save writes the brain's per-kind networks as JSON, enabling the offline
+// train → save → deploy split (pair with PretrainBrain and Load).
+func (b *CorpBrain) Save(w io.Writer) error {
+	for _, k := range resource.Kinds() {
+		if err := b.nets[k].Save(w); err != nil {
+			return fmt.Errorf("predict: save kind %v: %w", k, err)
+		}
+	}
+	return nil
+}
+
+// LoadCorpBrain reads per-kind networks written by Save into a brain with
+// the given configuration. The stored topologies must match the config.
+func LoadCorpBrain(cfg CorpConfig, r io.Reader) (*CorpBrain, error) {
+	b, err := NewCorpBrain(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(r)
+	for _, k := range resource.Kinds() {
+		net, err := dnn.LoadFrom(dec)
+		if err != nil {
+			return nil, fmt.Errorf("predict: load kind %v: %w", k, err)
+		}
+		want := b.nets[k].LayerSizes()
+		got := net.LayerSizes()
+		if len(want) != len(got) {
+			return nil, fmt.Errorf("predict: kind %v topology %v, want %v", k, got, want)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				return nil, fmt.Errorf("predict: kind %v topology %v, want %v", k, got, want)
+			}
+		}
+		b.nets[k] = net
+	}
+	return b, nil
+}

@@ -1,0 +1,199 @@
+// Package predict implements the paper's prediction pipeline and the three
+// baseline predictors it is evaluated against.
+//
+// Every predictor forecasts, per VM, the amount of allocated-but-unused
+// resource over the next window of L slots:
+//
+//   - CORP (Section III-A): a deep neural network trained online on the
+//     recent unused-resource history (Eqs. 5–8), corrected for peak/valley
+//     fluctuations by an HMM (Eqs. 9–17), made conservative by the lower
+//     confidence-interval bound (Eqs. 18–19), and gated by the
+//     probabilistic preemption criterion (Eq. 21).
+//   - RCCR (Carvalho et al., SoCC'14, as reimplemented in Section IV):
+//     exponential-smoothing time-series forecasting with a
+//     confidence-interval lower bound.
+//   - CloudScale (Shen et al., SoCC'11): PRESS-style signature detection
+//     with a discrete-time Markov chain fallback and adaptive padding.
+//   - DRA (Shanmuganathan et al., SIGMETRICS'13): periodic run-time
+//     estimation by windowed averaging, with no fluctuation handling.
+package predict
+
+import (
+	"repro/internal/resource"
+	"repro/internal/stats"
+)
+
+// Prediction is one window forecast.
+type Prediction struct {
+	// Unused is the forecast mean unused resource over the next window.
+	Unused resource.Vector
+	// Unlocked reports whether the forecast passes the scheme's safety
+	// gate (for CORP, Eq. 21); only unlocked predictions may back
+	// opportunistic allocation.
+	Unlocked bool
+}
+
+// Predictor forecasts one VM's unused resources. Implementations are not
+// safe for concurrent use; create one per VM (they may share read-mostly
+// state such as a common DNN brain).
+type Predictor interface {
+	// Name identifies the scheme ("CORP", "RCCR", "CloudScale", "DRA").
+	Name() string
+	// Observe feeds the actual unused vector of the current slot.
+	// Predictors must be Observed exactly once per slot, in order.
+	Observe(actual resource.Vector)
+	// Predict forecasts the mean unused vector for the window of the
+	// next L slots.
+	Predict() Prediction
+	// DrainOutcomes returns and clears the matured prediction errors
+	// (actual − predicted, per resource kind) accumulated since the last
+	// call; the experiment harness aggregates them into Fig. 6's
+	// prediction error rate.
+	DrainOutcomes() []ErrorSample
+}
+
+// ErrorSample is one matured prediction error δ = actual − predicted for
+// one resource kind (Eq. 20, evaluated at window end).
+type ErrorSample struct {
+	Kind  resource.Kind
+	Error float64
+	// Relative is the error normalized by capacity, used with a relative
+	// tolerance ε.
+	Relative float64
+}
+
+// pendingPred is a forecast waiting for its window to elapse.
+type pendingPred struct {
+	madeAt int
+	value  resource.Vector
+}
+
+// tracker is the shared bookkeeping every predictor embeds: per-kind
+// history windows, matured prediction errors (Eq. 20), and the pending
+// prediction queue.
+type tracker struct {
+	window   int // L
+	capacity resource.Vector
+	slot     int
+	hist     [resource.NumKinds]*stats.Window
+	errs     [resource.NumKinds]*stats.Window
+	pending  []pendingPred
+	matured  []ErrorSample
+	// maturedPreds counts matured predictions; the first coldSkip of
+	// them are excluded from the σ̂/Eq. 21 windows (they reflect an
+	// untrained model, and in a short run they would dominate the
+	// confidence-interval width for its whole duration).
+	maturedPreds int
+}
+
+// coldSkip is how many initial matured predictions are kept out of the
+// error-statistics windows.
+const coldSkip = 4
+
+func newTracker(window, histLen int, capacity resource.Vector) *tracker {
+	if window < 1 {
+		window = 1
+	}
+	if histLen < 2*window {
+		histLen = 2 * window
+	}
+	t := &tracker{window: window, capacity: capacity}
+	for k := range t.hist {
+		t.hist[k] = stats.NewWindow(histLen)
+		t.errs[k] = stats.NewWindow(40)
+	}
+	return t
+}
+
+// observe records one actual sample and matures any due predictions.
+func (t *tracker) observe(actual resource.Vector) {
+	for k := range t.hist {
+		t.hist[k].Push(actual[k])
+	}
+	t.slot++
+	// A prediction made at slot s forecasts the mean over (s, s+L]; it
+	// matures when slot reaches s+L.
+	keep := t.pending[:0]
+	for _, p := range t.pending {
+		if t.slot-p.madeAt < t.window {
+			keep = append(keep, p)
+			continue
+		}
+		actualMean := t.recentMean(t.window)
+		t.maturedPreds++
+		for k := range actualMean {
+			delta := actualMean[k] - p.value[k]
+			if t.maturedPreds > coldSkip {
+				t.errs[k].Push(delta)
+			}
+			rel := delta
+			if t.capacity[k] > 0 {
+				rel = delta / t.capacity[k]
+			}
+			t.matured = append(t.matured, ErrorSample{
+				Kind: resource.Kind(k), Error: delta, Relative: rel,
+			})
+		}
+	}
+	t.pending = keep
+}
+
+// recentMean returns the element-wise mean of the last n observed samples
+// (fewer if history is shorter).
+func (t *tracker) recentMean(n int) resource.Vector {
+	var out resource.Vector
+	for k := range t.hist {
+		vals := t.hist[k].Values()
+		if len(vals) > n {
+			vals = vals[len(vals)-n:]
+		}
+		out[k] = stats.Mean(vals)
+	}
+	return out
+}
+
+// recordPrediction queues a fresh forecast for later error measurement.
+func (t *tracker) recordPrediction(v resource.Vector) {
+	t.pending = append(t.pending, pendingPred{madeAt: t.slot, value: v})
+}
+
+// drainOutcomes hands the matured samples to the caller.
+func (t *tracker) drainOutcomes() []ErrorSample {
+	out := t.matured
+	t.matured = nil
+	return out
+}
+
+// histValues returns the full per-kind history, oldest first.
+func (t *tracker) histValues(k resource.Kind) []float64 {
+	return t.hist[k].Values()
+}
+
+// errStdDev returns σ̂ for kind k, the sample standard deviation of the
+// matured prediction errors (Eq. 18).
+func (t *tracker) errStdDev(k resource.Kind) float64 {
+	return stats.SampleStdDev(t.errs[k].Values())
+}
+
+// errWithin returns the empirical P(0 ≤ δ < ε·cap_k) for kind k along with
+// the sample count — the left side of Eq. 21 with a capacity-relative
+// tolerance.
+func (t *tracker) errWithin(k resource.Kind, epsilon float64) (float64, int) {
+	vals := t.errs[k].Values()
+	if len(vals) == 0 {
+		return 0, 0
+	}
+	tol := epsilon * t.capacity[k]
+	good := 0
+	for _, d := range vals {
+		if d >= 0 && d < tol {
+			good++
+		}
+	}
+	return float64(good) / float64(len(vals)), len(vals)
+}
+
+// clampToCapacity bounds a forecast to [0, capacity].
+func (t *tracker) clampToCapacity(v resource.Vector) resource.Vector {
+	return v.ClampTo(t.capacity)
+}

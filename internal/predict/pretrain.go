@@ -1,0 +1,99 @@
+package predict
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dnn"
+	"repro/internal/resource"
+)
+
+// Offline pretraining. The paper trains the DNN on historical trace data
+// before deployment; PretrainBrain builds the supervised dataset from
+// historical unused-resource series (per VM) and fits the per-kind
+// networks with the distributed trainer — the paper's future-work
+// "distributed deep learning training system" applied to its own pipeline.
+
+// PretrainResult reports one kind's training outcome.
+type PretrainResult struct {
+	Kind    resource.Kind
+	Epochs  int
+	ValLoss float64
+	Samples int
+}
+
+// BuildDataset converts historical per-VM unused-resource series into the
+// per-kind supervised datasets the CORP predictor trains on: inputs are Δ
+// consecutive normalized slots, targets the mean of the following window.
+// Capacities index per VM; series shorter than Δ+L are skipped.
+func BuildDataset(series [][]resource.Vector, capacities []resource.Vector, inputSlots, window int) ([resource.NumKinds][]dnn.Sample, error) {
+	var out [resource.NumKinds][]dnn.Sample
+	if len(series) == 0 {
+		return out, errors.New("predict: no history series")
+	}
+	if len(capacities) != len(series) {
+		return out, fmt.Errorf("predict: %d capacities for %d series", len(capacities), len(series))
+	}
+	if inputSlots < 1 || window < 1 {
+		return out, fmt.Errorf("predict: invalid shape Δ=%d L=%d", inputSlots, window)
+	}
+	for vi, vm := range series {
+		cap := capacities[vi]
+		need := inputSlots + window
+		if len(vm) < need {
+			continue
+		}
+		for _, k := range resource.Kinds() {
+			capK := cap.At(k)
+			if capK <= 0 {
+				continue
+			}
+			for start := 0; start+need <= len(vm); start++ {
+				in := make([]float64, inputSlots)
+				for i := 0; i < inputSlots; i++ {
+					in[i] = clamp01(vm[start+i].At(k) / capK)
+				}
+				var mean float64
+				for i := 0; i < window; i++ {
+					mean += vm[start+inputSlots+i].At(k)
+				}
+				mean /= float64(window)
+				out[k] = append(out[k], dnn.Sample{
+					Input:  in,
+					Target: []float64{clamp01(mean / capK)},
+				})
+			}
+		}
+	}
+	for _, k := range resource.Kinds() {
+		if len(out[k]) == 0 {
+			return out, errors.New("predict: history too short for the configured window")
+		}
+	}
+	return out, nil
+}
+
+// PretrainBrain fits the brain's per-kind networks on historical series
+// using data-parallel training. Capacities must parallel the series. It
+// returns one result per kind.
+func PretrainBrain(brain *CorpBrain, series [][]resource.Vector, capacities []resource.Vector, opts dnn.ParallelOptions) ([]PretrainResult, error) {
+	datasets, err := BuildDataset(series, capacities, brain.cfg.InputSlots, brain.cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]PretrainResult, 0, resource.NumKinds)
+	for _, k := range resource.Kinds() {
+		res, err := brain.nets[k].TrainParallel(datasets[k], opts)
+		if err != nil {
+			return nil, fmt.Errorf("predict: pretrain kind %v: %w", k, err)
+		}
+		brain.trainSteps += res.Epochs * len(datasets[k])
+		results = append(results, PretrainResult{
+			Kind:    k,
+			Epochs:  res.Epochs,
+			ValLoss: res.ValidationLoss,
+			Samples: len(datasets[k]),
+		})
+	}
+	return results, nil
+}

@@ -1,0 +1,302 @@
+// Package resource models multi-dimensional cloud resources (CPU, memory,
+// storage) as fixed-size vectors with value semantics.
+//
+// The paper (CORP, CLUSTER 2016) evaluates with l = 3 resource types and
+// weights ω = (0.4, 0.4, 0.2) for CPU, memory and storage respectively
+// (storage is not the bottleneck resource). Vectors are plain arrays so they
+// are cheap to copy, hashable, and safe to share without synchronization.
+package resource
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind identifies one resource dimension.
+type Kind int
+
+// The resource dimensions used throughout the paper's evaluation.
+const (
+	CPU Kind = iota
+	Memory
+	Storage
+
+	// NumKinds is l, the number of resource types (paper Table II: l = 3).
+	NumKinds = 3
+)
+
+// String returns the conventional short name of the resource kind.
+func (k Kind) String() string {
+	switch k {
+	case CPU:
+		return "CPU"
+	case Memory:
+		return "MEM"
+	case Storage:
+		return "STO"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds returns all resource kinds in order. The returned slice is fresh on
+// every call so callers may mutate it.
+func Kinds() []Kind {
+	return []Kind{CPU, Memory, Storage}
+}
+
+// Vector is an amount of each resource kind. The unit is abstract but
+// consistent per kind across the whole simulation (cores, GB, GB).
+type Vector [NumKinds]float64
+
+// New builds a vector from per-kind amounts.
+func New(cpu, mem, sto float64) Vector {
+	return Vector{cpu, mem, sto}
+}
+
+// Uniform returns a vector with the same amount of every kind.
+func Uniform(v float64) Vector {
+	var out Vector
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Weights is a normalized importance vector ω with Σωⱼ = 1 (paper Eq. 2).
+type Weights [NumKinds]float64
+
+// DefaultWeights are the paper's evaluation weights: CPU 0.4, MEM 0.4,
+// storage 0.2 ("storage is not the bottleneck resource").
+func DefaultWeights() Weights {
+	return Weights{0.4, 0.4, 0.2}
+}
+
+// Normalize scales the weights so they sum to one. Zero weights stay zero;
+// an all-zero input becomes uniform weights.
+func (w Weights) Normalize() Weights {
+	var sum float64
+	for _, v := range w {
+		sum += v
+	}
+	if sum <= 0 {
+		return Weights{1.0 / NumKinds, 1.0 / NumKinds, 1.0 / NumKinds}
+	}
+	var out Weights
+	for i, v := range w {
+		out[i] = v / sum
+	}
+	return out
+}
+
+// Add returns v + o element-wise.
+func (v Vector) Add(o Vector) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = v[i] + o[i]
+	}
+	return out
+}
+
+// Sub returns v − o element-wise.
+func (v Vector) Sub(o Vector) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = v[i] - o[i]
+	}
+	return out
+}
+
+// Scale returns v scaled by s.
+func (v Vector) Scale(s float64) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = v[i] * s
+	}
+	return out
+}
+
+// Mul returns the element-wise product.
+func (v Vector) Mul(o Vector) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = v[i] * o[i]
+	}
+	return out
+}
+
+// Div returns the element-wise quotient v/o. Divisions by zero yield +Inf
+// for positive numerators, NaN for 0/0, mirroring IEEE semantics so callers
+// can detect misuse rather than silently masking it.
+func (v Vector) Div(o Vector) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = v[i] / o[i]
+	}
+	return out
+}
+
+// Min returns the element-wise minimum.
+func (v Vector) Min(o Vector) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = math.Min(v[i], o[i])
+	}
+	return out
+}
+
+// Max returns the element-wise maximum.
+func (v Vector) Max(o Vector) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = math.Max(v[i], o[i])
+	}
+	return out
+}
+
+// ClampNonNegative zeroes any negative component. Predicted unused amounts
+// can dip below zero after confidence-interval subtraction (paper Eq. 19);
+// a negative available amount is meaningless for allocation.
+func (v Vector) ClampNonNegative() Vector {
+	var out Vector
+	for i := range v {
+		if v[i] > 0 {
+			out[i] = v[i]
+		}
+	}
+	return out
+}
+
+// ClampTo limits every component to at most the corresponding component of
+// ceiling (and at least zero).
+func (v Vector) ClampTo(ceiling Vector) Vector {
+	var out Vector
+	for i := range v {
+		out[i] = math.Min(math.Max(v[i], 0), ceiling[i])
+	}
+	return out
+}
+
+// FitsIn reports whether every component of v is ≤ the corresponding
+// component of capacity (with a tiny epsilon for float accumulation).
+func (v Vector) FitsIn(capacity Vector) bool {
+	const eps = 1e-9
+	for i := range v {
+		if v[i] > capacity[i]+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether all components are exactly zero.
+func (v Vector) IsZero() bool {
+	return v == Vector{}
+}
+
+// NonNegative reports whether all components are ≥ 0.
+func (v Vector) NonNegative() bool {
+	for _, x := range v {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the sum of all components.
+func (v Vector) Sum() float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Weighted returns Σⱼ ωⱼ·vⱼ, the weighted scalar value used by the paper's
+// overall utilization and wastage metrics (Eqs. 2 and 4).
+func (v Vector) Weighted(w Weights) float64 {
+	var s float64
+	for i, x := range v {
+		s += w[i] * x
+	}
+	return s
+}
+
+// Dominant returns the job's dominant resource: the kind with the largest
+// demand after normalizing by reference capacity (Section III-B). Reference
+// normalization makes demands on heterogeneous units comparable; passing
+// Uniform(1) degrades to raw-amount comparison.
+func (v Vector) Dominant(reference Vector) Kind {
+	best := Kind(0)
+	bestShare := math.Inf(-1)
+	for i, x := range v {
+		ref := reference[i]
+		share := x
+		if ref > 0 {
+			share = x / ref
+		}
+		if share > bestShare {
+			bestShare = share
+			best = Kind(i)
+		}
+	}
+	return best
+}
+
+// Volume computes the unused-resource volume of paper Eq. 22:
+// volume = Σₖ r̂ₖ / C′ₖ, where C′ is the per-kind maximum capacity across
+// all VMs. Kinds with zero reference capacity contribute nothing.
+func (v Vector) Volume(maxCapacity Vector) float64 {
+	var s float64
+	for i, x := range v {
+		if maxCapacity[i] > 0 {
+			s += x / maxCapacity[i]
+		}
+	}
+	return s
+}
+
+// At returns the component for kind k.
+func (v Vector) At(k Kind) float64 { return v[k] }
+
+// With returns a copy of v with kind k replaced by amount.
+func (v Vector) With(k Kind, amount float64) Vector {
+	v[k] = amount
+	return v
+}
+
+// String renders the vector as "<cpu, mem, sto>" matching the paper's
+// example notation, e.g. "<25.0, 2.0, 30.0>".
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('<')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%.3g", x)
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// MaxAcross returns the element-wise maximum across all vectors; this is C′
+// in paper Eq. 22. An empty input yields the zero vector.
+func MaxAcross(vs []Vector) Vector {
+	var out Vector
+	for _, v := range vs {
+		out = out.Max(v)
+	}
+	return out
+}
+
+// SumAcross returns the element-wise sum across all vectors.
+func SumAcross(vs []Vector) Vector {
+	var out Vector
+	for _, v := range vs {
+		out = out.Add(v)
+	}
+	return out
+}

@@ -1,0 +1,567 @@
+// Package scheduler implements the four resource-provisioning schemes the
+// paper evaluates, as placement policies over a common interface:
+//
+//   - CORP: packs complementary arrivals into entities (Section III-B),
+//     places them on the most-matched VM (Eq. 22) out of the unlocked
+//     predicted-unused pools, falling back to unallocated headroom.
+//   - RCCR: no packing; places each job on a random VM whose
+//     ETS-predicted unused resources satisfy it ("we randomly chose a VM
+//     that can satisfy the resource demands of a job ... without
+//     considering job packing").
+//   - CloudScale: no packing; random VM whose padded prediction fits.
+//   - DRA: demand-based only — never uses allocated-but-unused resources;
+//     random share-weighted VM with unallocated headroom.
+//
+// The scheduler owns one predictor per VM and refreshes all forecasts once
+// per window; the simulator drives Observe/Refresh/Place and owns the
+// physical truth.
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/packing"
+	"repro/internal/predict"
+	"repro/internal/resource"
+)
+
+// Scheme selects a provisioning scheme.
+type Scheme int
+
+// The four evaluated schemes.
+const (
+	CORP Scheme = iota
+	RCCR
+	CloudScale
+	DRA
+	// Oracle places with perfect knowledge of future unused resources —
+	// the reproduction's upper bound, not a scheme from the paper.
+	Oracle
+)
+
+// String names the scheme as the paper does.
+func (s Scheme) String() string {
+	switch s {
+	case CORP:
+		return "CORP"
+	case RCCR:
+		return "RCCR"
+	case CloudScale:
+		return "CloudScale"
+	case DRA:
+		return "DRA"
+	case Oracle:
+		return "Oracle"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Schemes returns all schemes in the paper's comparison order.
+func Schemes() []Scheme { return []Scheme{CORP, RCCR, CloudScale, DRA} }
+
+// Config parameterizes scheduler construction.
+type Config struct {
+	Scheme Scheme
+
+	// Corp, RCCR, CloudScale and DRA configure the per-scheme
+	// predictors; zero values take each predictor's defaults.
+	Corp       predict.CorpConfig
+	RCCR       predict.RCCRConfig
+	CloudScale predict.CloudScaleConfig
+	DRA        predict.DRAConfig
+
+	// Seed drives the baselines' random VM choice and predictor
+	// initialization.
+	Seed int64
+
+	// DisablePacking turns CORP's complementary packing off (ablation).
+	DisablePacking bool
+
+	// CorpAllocMargin sizes CORP's per-job allocation: the corrected
+	// predicted need is the job's mean demand times this margin
+	// (Section III-A: CORP "dynamically allocates the corrected amount
+	// of resource to jobs" rather than the declared peak). Zero defaults
+	// to 1.15.
+	CorpAllocMargin float64
+
+	// CloudScalePad sizes CloudScale's allocation: declared peak times
+	// this factor (its adaptive padding over-provisions to absorb
+	// bursts). Zero defaults to 1.35.
+	CloudScalePad float64
+
+	// DRABulk sizes DRA's allocation: declared peak times this factor
+	// (bulk-capacity redistribution is coarser than per-job rightsizing).
+	// Zero defaults to 1.5.
+	DRABulk float64
+
+	// AllocTightness scales every allocation the scheme makes. 1.0 is
+	// the scheme's nominal sizing; values below 1 trade SLO safety for
+	// utilization — the knob the Fig. 8/12 sweep turns ("We varied the
+	// SLO violation rate ... thereby varying the percentage of jobs that
+	// have SLO violation"). Zero defaults to 1.0.
+	AllocTightness float64
+
+	// CorpPlacement selects CORP's VM-selection strategy: "most-matched"
+	// (the paper's Eq. 22, the default), "first-fit", "worst-fit" or
+	// "random" — the extension experiments compare them.
+	CorpPlacement string
+
+	// CorpPackK sets the maximum entity size for CORP's packing; zero
+	// defaults to 2 (the paper packs pairs). Values above 2 exercise the
+	// k-way extension.
+	CorpPackK int
+}
+
+// VMView is the simulator's per-VM state snapshot handed to Place: what
+// the scheduler may allocate from, and what it has already committed.
+type VMView struct {
+	// FreshAvailable is capacity − reservations − fresh allocations in
+	// force: real, guaranteed headroom.
+	FreshAvailable resource.Vector
+	// OppInUse is the sum of opportunistic allocations currently riding
+	// on this VM's predicted-unused pool.
+	OppInUse resource.Vector
+}
+
+// Placement is one placement decision.
+type Placement struct {
+	Jobs []*job.Job
+	// Allocs[i] is the amount allocated to Jobs[i] — each scheme's own
+	// sizing policy; the utilization metric (Eq. 1) is demand over these.
+	Allocs []resource.Vector
+	VM     int
+	// Opportunistic marks allocations carved from predicted-unused
+	// resources (preempted from residents) rather than fresh headroom.
+	Opportunistic bool
+}
+
+// Scheduler is the common interface the simulator drives.
+type Scheduler interface {
+	// Name identifies the scheme.
+	Name() string
+	// Window is L, the prediction refresh period in slots.
+	Window() int
+	// Observe feeds VM vm's actual unused vector for the current slot.
+	Observe(vm int, actualUnused resource.Vector)
+	// Refresh recomputes all VM forecasts; the simulator calls it once
+	// per window.
+	Refresh()
+	// Place decides placements for the given pending jobs. Views are
+	// indexed by VM. Jobs not covered by any returned placement stay
+	// queued.
+	Place(jobs []*job.Job, views []VMView) []Placement
+	// DrainOutcomes returns matured prediction errors across all VMs
+	// (for the Fig. 6 harness).
+	DrainOutcomes() []predict.ErrorSample
+}
+
+// New builds the scheduler for the scheme over the given cluster.
+func New(cfg Config, cl *cluster.Cluster) (Scheduler, error) {
+	caps := make([]resource.Vector, len(cl.VMs))
+	for i, vm := range cl.VMs {
+		caps[i] = vm.Capacity
+	}
+	tight := cfg.AllocTightness
+	if tight <= 0 {
+		tight = 1.0
+	}
+	base := base{
+		caps:   caps,
+		maxCap: cl.MaxVMCapacity(),
+		rng:    rand.New(rand.NewSource(cfg.Seed ^ 0xc0ffee)),
+		preds:  make([]predict.Predictor, len(caps)),
+		latest: make([]predict.Prediction, len(caps)),
+		tight:  tight,
+	}
+	switch cfg.Scheme {
+	case CORP:
+		brain, err := predict.NewCorpBrain(cfg.Corp)
+		if err != nil {
+			return nil, err
+		}
+		for i, cap := range caps {
+			base.preds[i] = predict.NewCorpPredictor(brain, cap, cfg.Seed+int64(i))
+		}
+		base.window = windowOf(cfg.Corp.Window)
+		margin := cfg.CorpAllocMargin
+		if margin <= 0 {
+			margin = 1.15
+		}
+		strategy, err := placementStrategy(cfg.CorpPlacement, base.rng)
+		if err != nil {
+			return nil, err
+		}
+		packK := cfg.CorpPackK
+		if packK <= 0 {
+			packK = 2
+		}
+		return &corpScheduler{
+			base: base, name: "CORP", packing: !cfg.DisablePacking,
+			margin: margin, strategy: strategy, packK: packK,
+		}, nil
+	case RCCR:
+		for i, cap := range caps {
+			base.preds[i] = predict.NewRCCRPredictor(cfg.RCCR, cap)
+		}
+		base.window = windowOf(cfg.RCCR.Window)
+		return &randomScheduler{base: base, name: "RCCR", allocFactor: 1.0}, nil
+	case CloudScale:
+		for i, cap := range caps {
+			base.preds[i] = predict.NewCloudScalePredictor(cfg.CloudScale, cap)
+		}
+		base.window = windowOf(cfg.CloudScale.Window)
+		pad := cfg.CloudScalePad
+		if pad <= 0 {
+			pad = 1.35
+		}
+		return &randomScheduler{base: base, name: "CloudScale", allocFactor: pad}, nil
+	case DRA:
+		for i, cap := range caps {
+			base.preds[i] = predict.NewDRAPredictor(cfg.DRA, cap)
+		}
+		base.window = windowOf(cfg.DRA.Window)
+		bulk := cfg.DRABulk
+		if bulk <= 0 {
+			bulk = 1.5
+		}
+		return newDRAScheduler(base, bulk), nil
+	case Oracle:
+		base.window = windowOf(0)
+		for i, cap := range caps {
+			base.preds[i] = predict.NewOraclePredictor(base.window, cap)
+		}
+		margin := cfg.CorpAllocMargin
+		if margin <= 0 {
+			margin = 1.15
+		}
+		strategy, err := placementStrategy(cfg.CorpPlacement, base.rng)
+		if err != nil {
+			return nil, err
+		}
+		packK := cfg.CorpPackK
+		if packK <= 0 {
+			packK = 2
+		}
+		// The oracle reuses CORP's packing and placement machinery; only
+		// the predictions differ.
+		return &corpScheduler{
+			base: base, name: "Oracle", packing: !cfg.DisablePacking,
+			margin: margin, strategy: strategy, packK: packK,
+		}, nil
+	default:
+		return nil, fmt.Errorf("scheduler: unknown scheme %v", cfg.Scheme)
+	}
+}
+
+// placementStrategy resolves a CorpPlacement name.
+func placementStrategy(name string, rng *rand.Rand) (packing.Strategy, error) {
+	switch name {
+	case "", "most-matched":
+		return packing.MostMatched{}, nil
+	case "first-fit":
+		return packing.FirstFit{}, nil
+	case "worst-fit":
+		return packing.WorstFit{}, nil
+	case "random":
+		return packing.RandomFit{Rng: rng}, nil
+	default:
+		return nil, fmt.Errorf("scheduler: unknown placement strategy %q", name)
+	}
+}
+
+// storageGranularity inflates every scheme's storage allocation: disk is
+// provisioned in coarse volume sizes, so allocated storage exceeds the
+// requested amount more than CPU/MEM do. This reproduces the paper's
+// Fig. 11 observation that "the utilizations of CPU and MEM are higher
+// than storage ... storage is not the bottleneck resource and has more
+// wastage in allocation".
+const storageGranularity = 1.3
+
+// padStorage applies the volume-granularity inflation to an allocation.
+func padStorage(v resource.Vector) resource.Vector {
+	v[resource.Storage] *= storageGranularity
+	return v
+}
+
+// windowOf applies the predictors' shared default window.
+func windowOf(w int) int {
+	if w <= 0 {
+		return 6
+	}
+	return w
+}
+
+// FutureSink is implemented by predictors that accept the true future
+// series (the oracle); the simulator feeds it when available.
+type FutureSink interface {
+	SetFuture(series []resource.Vector)
+}
+
+// SetFutures hands each VM's actual unused series to predictors that can
+// consume it. It is a no-op for real schemes.
+func SetFutures(s Scheduler, series [][]resource.Vector) {
+	b, ok := s.(interface{ predictors() []predict.Predictor })
+	if !ok {
+		return
+	}
+	for i, p := range b.predictors() {
+		if sink, ok := p.(FutureSink); ok && i < len(series) {
+			sink.SetFuture(series[i])
+		}
+	}
+}
+
+// base carries the machinery every scheme shares.
+type base struct {
+	caps   []resource.Vector
+	maxCap resource.Vector
+	window int
+	rng    *rand.Rand
+	preds  []predict.Predictor
+	latest []predict.Prediction
+	tight  float64
+}
+
+func (b *base) Window() int { return b.window }
+
+// predictors exposes the per-VM predictors for SetFutures.
+func (b *base) predictors() []predict.Predictor { return b.preds }
+
+func (b *base) Observe(vm int, actualUnused resource.Vector) {
+	b.preds[vm].Observe(actualUnused)
+}
+
+func (b *base) Refresh() {
+	for i, p := range b.preds {
+		b.latest[i] = p.Predict()
+	}
+}
+
+func (b *base) DrainOutcomes() []predict.ErrorSample {
+	var out []predict.ErrorSample
+	for _, p := range b.preds {
+		out = append(out, p.DrainOutcomes()...)
+	}
+	return out
+}
+
+// oppAvailable returns what the prediction still offers on VM i after the
+// opportunistic allocations already in force.
+func (b *base) oppAvailable(i int, v VMView) resource.Vector {
+	return b.latest[i].Unused.Sub(v.OppInUse).ClampNonNegative()
+}
+
+// Adjuster is implemented by schemes that re-size running jobs'
+// allocations every window (CORP: "dynamically allocates the corrected
+// amount of resource to jobs ... adapt[ing] well to the requirement of
+// time-varying user demand"). The simulator consults it at each refresh.
+type Adjuster interface {
+	// AdjustAlloc returns the new allocation for a running job given its
+	// current observed demand; ok is false when the scheme leaves the
+	// allocation unchanged.
+	AdjustAlloc(spec *job.Job, currentDemand resource.Vector) (alloc resource.Vector, ok bool)
+}
+
+// corpScheduler is the paper's system (also reused, with oracle
+// predictions, as the upper-bound scheme).
+type corpScheduler struct {
+	base
+	name     string
+	packing  bool
+	margin   float64
+	strategy packing.Strategy
+	packK    int
+}
+
+// AdjustAlloc implements Adjuster: the corrected amount tracks the job's
+// observed demand with the margin, floored at the mean-based initial
+// sizing and capped at the declared peak.
+func (s *corpScheduler) AdjustAlloc(spec *job.Job, currentDemand resource.Vector) (resource.Vector, bool) {
+	tracked := currentDemand.Scale(s.margin)
+	floor := spec.MeanDemand().Scale(0.8 * s.margin)
+	return padStorage(tracked.Max(floor).Min(spec.PeakDemand())).Scale(s.tight), true
+}
+
+// alloc sizes CORP's allocation for one job: the corrected predicted need
+// (mean demand times the margin), never above the declared peak, scaled by
+// the tightness knob.
+func (s *corpScheduler) alloc(j *job.Job) resource.Vector {
+	return padStorage(j.MeanDemand().Scale(s.margin).Min(j.PeakDemand())).Scale(s.tight)
+}
+
+func (s *corpScheduler) Name() string { return s.name }
+
+// Place implements the Section III-B algorithm: pack, then for each entity
+// choose the most-matched VM from the unlocked predicted-unused pools;
+// fall back to unallocated headroom with the same volume rule.
+func (s *corpScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
+	var entities []packing.Entity
+	if s.packing {
+		entities = packing.PackK(jobs, s.maxCap, s.packK)
+	} else {
+		for _, j := range jobs {
+			entities = append(entities, packing.NewEntity(j))
+		}
+	}
+	// Local copies of the evolving pools so one Place call stays
+	// consistent across multiple entities.
+	opp := make([]resource.Vector, len(views))
+	fresh := make([]resource.Vector, len(views))
+	for i, v := range views {
+		opp[i] = s.oppAvailable(i, v)
+		fresh[i] = v.FreshAvailable
+	}
+	var placements []Placement
+	for _, e := range entities {
+		allocs := make([]resource.Vector, len(e.Jobs))
+		var need resource.Vector
+		for i, j := range e.Jobs {
+			allocs[i] = s.alloc(j)
+			need = need.Add(allocs[i])
+		}
+		var oppCands []packing.Candidate
+		for i := range views {
+			if s.latest[i].Unlocked {
+				oppCands = append(oppCands, packing.Candidate{VM: i, Available: opp[i]})
+			}
+		}
+		if vm, ok := s.strategy.Choose(need, oppCands, s.maxCap); ok {
+			opp[vm] = opp[vm].Sub(need).ClampNonNegative()
+			placements = append(placements, Placement{Jobs: e.Jobs, Allocs: allocs, VM: vm, Opportunistic: true})
+			continue
+		}
+		freshCands := make([]packing.Candidate, len(views))
+		for i := range views {
+			freshCands[i] = packing.Candidate{VM: i, Available: fresh[i]}
+		}
+		if vm, ok := s.strategy.Choose(need, freshCands, s.maxCap); ok {
+			fresh[vm] = fresh[vm].Sub(need).ClampNonNegative()
+			placements = append(placements, Placement{Jobs: e.Jobs, Allocs: allocs, VM: vm})
+		}
+		// Otherwise the entity stays queued; the simulator re-offers its
+		// jobs next slot.
+	}
+	return placements
+}
+
+// randomScheduler implements RCCR's and CloudScale's placement: each job
+// individually, on a uniformly random VM whose predicted unused resources
+// satisfy it, falling back to a random VM with fresh headroom.
+type randomScheduler struct {
+	base
+	name        string
+	allocFactor float64
+}
+
+func (s *randomScheduler) Name() string { return s.name }
+
+func (s *randomScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
+	opp := make([]resource.Vector, len(views))
+	fresh := make([]resource.Vector, len(views))
+	for i, v := range views {
+		opp[i] = s.oppAvailable(i, v)
+		fresh[i] = v.FreshAvailable
+	}
+	var placements []Placement
+	for _, j := range jobs {
+		alloc := padStorage(j.PeakDemand()).Scale(s.allocFactor * s.tight)
+		if vm, ok := s.randomFit(alloc, opp); ok {
+			opp[vm] = opp[vm].Sub(alloc).ClampNonNegative()
+			placements = append(placements, Placement{
+				Jobs: []*job.Job{j}, Allocs: []resource.Vector{alloc}, VM: vm, Opportunistic: true,
+			})
+			continue
+		}
+		if vm, ok := s.randomFit(alloc, fresh); ok {
+			fresh[vm] = fresh[vm].Sub(alloc).ClampNonNegative()
+			placements = append(placements, Placement{
+				Jobs: []*job.Job{j}, Allocs: []resource.Vector{alloc}, VM: vm,
+			})
+		}
+	}
+	return placements
+}
+
+// randomFit returns a uniformly random index whose pool satisfies demand.
+func (s *randomScheduler) randomFit(demand resource.Vector, pools []resource.Vector) (int, bool) {
+	var fits []int
+	for i, p := range pools {
+		if demand.FitsIn(p) {
+			fits = append(fits, i)
+		}
+	}
+	if len(fits) == 0 {
+		return 0, false
+	}
+	return fits[s.rng.Intn(len(fits))], true
+}
+
+// draScheduler implements DRA: demand-based allocation from unallocated
+// capacity only, with VMs holding high/medium/low shares in the paper's
+// 4:2:1 ratio; feasible VMs are chosen randomly with share-proportional
+// probability.
+type draScheduler struct {
+	base
+	shares []int
+	bulk   float64
+}
+
+func newDRAScheduler(b base, bulk float64) *draScheduler {
+	s := &draScheduler{base: b, shares: make([]int, len(b.caps)), bulk: bulk}
+	shareMix := []int{4, 2, 1} // high : medium : low
+	for i := range s.shares {
+		s.shares[i] = shareMix[i%len(shareMix)]
+	}
+	return s
+}
+
+func (s *draScheduler) Name() string { return "DRA" }
+
+func (s *draScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
+	fresh := make([]resource.Vector, len(views))
+	for i, v := range views {
+		fresh[i] = v.FreshAvailable
+	}
+	var placements []Placement
+	for _, j := range jobs {
+		alloc := padStorage(j.PeakDemand()).Scale(s.bulk * s.tight)
+		vm, ok := s.shareWeightedFit(alloc, fresh)
+		if !ok {
+			continue
+		}
+		fresh[vm] = fresh[vm].Sub(alloc).ClampNonNegative()
+		placements = append(placements, Placement{
+			Jobs: []*job.Job{j}, Allocs: []resource.Vector{alloc}, VM: vm,
+		})
+	}
+	return placements
+}
+
+// shareWeightedFit picks a feasible VM with probability proportional to
+// its share.
+func (s *draScheduler) shareWeightedFit(demand resource.Vector, pools []resource.Vector) (int, bool) {
+	total := 0
+	for i, p := range pools {
+		if demand.FitsIn(p) {
+			total += s.shares[i]
+		}
+	}
+	if total == 0 {
+		return 0, false
+	}
+	pick := s.rng.Intn(total)
+	for i, p := range pools {
+		if !demand.FitsIn(p) {
+			continue
+		}
+		pick -= s.shares[i]
+		if pick < 0 {
+			return i, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunMany executes several independent simulations concurrently on a
+// bounded worker pool and returns results positionally. Each simulation is
+// self-contained (own cluster, own scheduler, own RNGs), so runs
+// parallelize perfectly; the experiment sweeps use this to regenerate
+// figures on all cores.
+//
+// Workers ≤ 0 defaults to GOMAXPROCS. The first error encountered is
+// returned (with the remaining runs still completing); results[i] is nil
+// for the failed run.
+func RunMany(cfgs []Config, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	if len(cfgs) == 0 {
+		return results, nil
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,647 @@
+// Package sim is the discrete-time cluster simulator that drives the
+// paper's evaluation: resident (tenant) jobs hold reservations on VMs and
+// use a fluctuating fraction of them; short-lived jobs arrive and are
+// placed by one of the four provisioning schemes; opportunistic placements
+// ride the residents' allocated-but-unused resources and starve when the
+// prediction overestimated, turning prediction error into SLO violations.
+//
+// One Run produces every metric the paper reports: per-kind and overall
+// utilization (Eqs. 1–2), the prediction error rate of Fig. 6, the SLO
+// violation rate, and the scheduling overhead of Figs. 10/14.
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/predict"
+	"repro/internal/resource"
+	"repro/internal/scheduler"
+	"repro/internal/trace"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Profile selects the testbed (cluster or ec2).
+	Profile cluster.Profile
+	// NumPMs / NumVMs override testbed defaults when > 0.
+	NumPMs, NumVMs int
+	// Heterogeneous carves unequal VM sizes (see cluster.Config).
+	Heterogeneous bool
+
+	// NumJobs is |J|, the number of short-lived jobs (Table II: 50–300).
+	// Zero defaults to 300.
+	NumJobs int
+
+	// Scheduler selects and configures the provisioning scheme.
+	Scheduler scheduler.Config
+
+	// Seed drives workload generation.
+	Seed int64
+
+	// Warmup is how many slots run before the first arrival, giving
+	// predictors history (zero defaults to 90 slots = 15 minutes).
+	Warmup int
+	// ArrivalSpan is the span of slots over which jobs arrive (zero
+	// defaults to 60).
+	ArrivalSpan int
+	// Drain is how many slots run after the last possible arrival (zero
+	// defaults to 150 — enough for a 5-minute job plus SLO slack).
+	Drain int
+
+	// Epsilon is the prediction-error tolerance ε of the Fig. 6 metric
+	// (relative to VM capacity). Zero defaults to 0.10.
+	Epsilon float64
+
+	// Weights are the ω of Eq. 2; zero defaults to 0.4/0.4/0.2.
+	Weights resource.Weights
+
+	// Residents overrides the tenant-load generator; the zero value uses
+	// its defaults with Horizon matched to the run length.
+	Residents trace.ResidentConfig
+
+	// Jobs overrides the short-job generator; the zero value derives
+	// VM-capacity-scaled defaults.
+	Jobs trace.Config
+
+	// ExplicitJobs, when non-nil, bypasses the generator entirely: the
+	// run is driven by these specs (e.g. loaded from a real Google
+	// task_usage table via trace.ReadGoogleTaskUsage). Arrivals are
+	// still offset past the warmup; NumJobs is ignored.
+	ExplicitJobs []*job.Job
+
+	// RecordTimeline captures a per-slot snapshot into Result.Timeline.
+	RecordTimeline bool
+
+	// LongJobs adds long-lived service jobs to the run (the cooperative
+	// mixed-workload extension): they arrive over time, receive
+	// guaranteed reservations from a simple headroom-greedy method — the
+	// "other method for long-lived jobs" CORP cooperates with — and
+	// their allocated-but-unused resources join the opportunistic pool
+	// the short-job schemes harvest. Zero disables them.
+	LongJobs int
+	// Long overrides the long-job generator.
+	Long trace.LongJobConfig
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumJobs <= 0 {
+		c.NumJobs = 300
+	}
+	if c.Warmup <= 0 {
+		c.Warmup = 90
+	}
+	if c.ArrivalSpan <= 0 {
+		c.ArrivalSpan = 60
+	}
+	if c.Drain <= 0 {
+		c.Drain = 150
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.10
+	}
+	if c.Weights == (resource.Weights{}) {
+		c.Weights = resource.DefaultWeights()
+	}
+	if c.Residents.ReservedShare <= 0 {
+		// 60% reserved leaves realistic fresh headroom for the
+		// demand-based schemes while keeping a deep unused pool.
+		c.Residents.ReservedShare = 0.6
+	}
+	if c.Scheduler.Scheme == scheduler.CORP && c.Scheduler.Corp.Pth <= 0 {
+		// Table II's P_th = 0.95 is calibrated to the paper's trace; on
+		// the synthetic trace the empirical in-band rate tops out lower,
+		// so the experiment layer defaults the gate to 0.7 (Fig. 8
+		// sweeps it). See EXPERIMENTS.md.
+		c.Scheduler.Corp.Pth = 0.7
+	}
+	return c
+}
+
+// Result aggregates one run's metrics.
+type Result struct {
+	Scheme  string
+	Profile string
+	NumJobs int
+	Slots   int
+
+	// Utilization per kind (Eq. 1 pooled over slots) and overall (Eq. 2),
+	// computed over the submitted short-lived jobs — Eq. 1's n_t is "the
+	// number of jobs submitted at time slot t". This is the headline
+	// metric of Figs. 7/8/11/12: demand served over resources allocated.
+	Utilization [resource.NumKinds]float64
+	Overall     float64
+	// Wastage is 1 − Overall (Eq. 4).
+	Wastage float64
+
+	// ClusterUtilization pools residents and short jobs together: the
+	// whole-cluster view (demand over all reservations + allocations).
+	ClusterUtilization [resource.NumKinds]float64
+	ClusterOverall     float64
+
+	// PredictionErrorRate is Fig. 6's metric: the fraction of matured
+	// CPU-kind predictions with error outside [0, ε·cap).
+	PredictionErrorRate float64
+	PredictionSamples   int
+
+	// SLO tallies.
+	SLO     metrics.SLOStats
+	SLORate float64
+
+	// Overhead of allocating resources to all jobs: scheduler decision
+	// wall time plus simulated communication, as in Figs. 10/14.
+	Overhead metrics.LatencyTracker
+
+	// Placement accounting.
+	PlacedOpportunistic int
+	PlacedFresh         int
+	NeverPlaced         int
+	MeanResponseSlots   float64
+
+	// Response-time percentiles over finished short jobs (slots).
+	ResponseP50 int
+	ResponseP95 int
+	// Fairness is Jain's index over the short jobs' mean service rates.
+	Fairness float64
+
+	// Long-lived job accounting (mixed-workload runs).
+	LongPlaced   int
+	LongUnplaced int
+	LongFinished int
+
+	// Timeline holds per-slot snapshots when Config.RecordTimeline is
+	// set (nil otherwise).
+	Timeline []TimelinePoint
+}
+
+// vmState is the simulator's physical ledger for one VM.
+type vmState struct {
+	capacity     resource.Vector
+	reserved     resource.Vector // resident reservation
+	freshInUse   resource.Vector // short-job allocations from headroom
+	oppInUse     resource.Vector // short-job allocations from predicted-unused
+	longReserved resource.Vector // long-lived jobs' guaranteed reservations
+	resident     *job.Job
+	running      []*job.Runtime
+	longRunning  []*job.Runtime
+}
+
+// freshHeadroom is the guaranteed capacity still unallocated on the VM.
+func (st *vmState) freshHeadroom() resource.Vector {
+	return st.capacity.Sub(st.reserved).Sub(st.longReserved).Sub(st.freshInUse).ClampNonNegative()
+}
+
+// Run executes one simulation and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	cl, err := cluster.New(cluster.Config{
+		Profile: cfg.Profile, NumPMs: cfg.NumPMs, NumVMs: cfg.NumVMs,
+		Heterogeneous: cfg.Heterogeneous,
+	})
+	if err != nil {
+		return nil, err
+	}
+	horizon := cfg.Warmup + cfg.ArrivalSpan + cfg.Drain
+
+	// Residents: one per VM, reserving and partially using capacity.
+	resCfg := cfg.Residents
+	resCfg.Seed ^= cfg.Seed
+	if resCfg.Horizon < horizon {
+		resCfg.Horizon = horizon
+	}
+	vmCaps := make([]resource.Vector, len(cl.VMs))
+	for i, vm := range cl.VMs {
+		vmCaps[i] = vm.Capacity
+	}
+	residents, err := trace.GenerateResidents(resCfg, vmCaps, job.ID(1_000_000))
+	if err != nil {
+		return nil, err
+	}
+
+	// Short-lived jobs, arrivals offset past the warmup. Explicit specs
+	// (e.g. a loaded real trace) take precedence over the generator.
+	var shortJobs []*job.Job
+	if cfg.ExplicitJobs != nil {
+		shortJobs = make([]*job.Job, len(cfg.ExplicitJobs))
+		for i, orig := range cfg.ExplicitJobs {
+			if err := orig.Validate(); err != nil {
+				return nil, fmt.Errorf("sim: explicit job: %w", err)
+			}
+			// Copy the spec so arrival offsetting does not mutate the
+			// caller's data across runs.
+			j := *orig
+			j.Arrival += cfg.Warmup
+			shortJobs[i] = &j
+		}
+		sort.SliceStable(shortJobs, func(a, b int) bool {
+			return shortJobs[a].Arrival < shortJobs[b].Arrival
+		})
+		cfg.NumJobs = len(shortJobs)
+		// Explicit arrivals may extend past the configured span; widen
+		// the horizon so every job gets its drain period.
+		if n := len(shortJobs); n > 0 {
+			if last := shortJobs[n-1].Arrival; last+cfg.Drain > horizon {
+				horizon = last + cfg.Drain
+			}
+		}
+	} else {
+		jobCfg := cfg.Jobs
+		jobCfg.Seed ^= cfg.Seed
+		jobCfg.NumJobs = cfg.NumJobs
+		jobCfg.ArrivalSpan = cfg.ArrivalSpan
+		if jobCfg.VMCapacity.IsZero() {
+			jobCfg.VMCapacity = cl.VMs[0].Capacity
+		}
+		generated, err := trace.GenerateShortJobs(jobCfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range generated {
+			j.Arrival += cfg.Warmup
+		}
+		shortJobs = generated
+	}
+
+	sched, err := scheduler.New(cfg.Scheduler, cl)
+	if err != nil {
+		return nil, err
+	}
+
+	// The oracle upper bound receives the true future unused series
+	// (residents only; in mixed runs the long jobs' contribution stays
+	// unknown even to the oracle).
+	if cfg.Scheduler.Scheme == scheduler.Oracle {
+		futures := make([][]resource.Vector, len(residents))
+		for v, r := range residents {
+			series := make([]resource.Vector, horizon)
+			for t := 0; t < horizon; t++ {
+				series[t] = r.UnusedAt(t)
+			}
+			futures[v] = series
+		}
+		scheduler.SetFutures(sched, futures)
+	}
+
+	// CORP trains its DNN on historical trace data before deployment
+	// ("we first used the deep learning algorithm to predict ... based on
+	// the historical resource usage data from the Google trace"): feed a
+	// batch of sibling resident series through the scheduler's predictors
+	// ahead of the run. Observations only — no predictions are recorded,
+	// so the error statistics stay untouched.
+	if cfg.Scheduler.Scheme == scheduler.CORP {
+		histCfg := resCfg
+		histCfg.Seed ^= 0x415
+		histCfg.Horizon = 240
+		nHist := len(cl.VMs)
+		if nHist > 24 {
+			nHist = 24
+		}
+		history, err := trace.GenerateResidents(histCfg, vmCaps[:nHist], job.ID(2_000_000))
+		if err != nil {
+			return nil, err
+		}
+		// History predates the run; the bounded per-VM windows flush it
+		// naturally during the warmup as live samples displace it.
+		for v, h := range history {
+			for t := 0; t < histCfg.Horizon; t++ {
+				sched.Observe(v, h.UnusedAt(t))
+			}
+		}
+	}
+
+	vms := make([]*vmState, len(cl.VMs))
+	for i, vm := range cl.VMs {
+		vms[i] = &vmState{
+			capacity: vm.Capacity,
+			reserved: residents[i].Request,
+			resident: residents[i],
+		}
+	}
+
+	runtimes := make([]*job.Runtime, len(shortJobs))
+	for i, j := range shortJobs {
+		runtimes[i] = job.NewRuntime(j)
+	}
+
+	// Long-lived service jobs for the cooperative mixed workload.
+	var longRuntimes []*job.Runtime
+	if cfg.LongJobs > 0 {
+		longCfg := cfg.Long
+		longCfg.Seed ^= cfg.Seed
+		longCfg.NumJobs = cfg.LongJobs
+		if longCfg.VMCapacity.IsZero() {
+			longCfg.VMCapacity = cl.VMs[0].Capacity
+		}
+		longJobs, err := trace.GenerateLongJobs(longCfg, job.ID(3_000_000))
+		if err != nil {
+			return nil, err
+		}
+		for _, j := range longJobs {
+			// Long services start arriving mid-warmup.
+			j.Arrival += cfg.Warmup / 2
+			longRuntimes = append(longRuntimes, job.NewRuntime(j))
+		}
+	}
+	nextLong := 0
+
+	res := &Result{
+		Scheme:  sched.Name(),
+		Profile: cfg.Profile.String(),
+		NumJobs: cfg.NumJobs,
+		Slots:   horizon,
+	}
+	var collector, clusterCollector metrics.UtilizationCollector
+	var outcomes []predict.ErrorSample
+	var queue []*job.Runtime
+	nextArrival := 0
+	window := sched.Window()
+
+	for t := 0; t < horizon; t++ {
+		// 0. Place arriving long-lived jobs with the cooperating
+		// reservation method: largest guaranteed headroom first.
+		for nextLong < len(longRuntimes) && longRuntimes[nextLong].Spec.Arrival <= t {
+			rt := longRuntimes[nextLong]
+			nextLong++
+			bestVM, bestVol := -1, -1.0
+			need := rt.Spec.Request
+			for v, st := range vms {
+				head := st.freshHeadroom()
+				if !need.FitsIn(head) {
+					continue
+				}
+				if vol := head.Volume(cl.MaxVMCapacity()); vol > bestVol {
+					bestVM, bestVol = v, vol
+				}
+			}
+			if bestVM < 0 {
+				res.LongUnplaced++
+				continue
+			}
+			st := vms[bestVM]
+			st.longReserved = st.longReserved.Add(need)
+			rt.VM = bestVM
+			rt.Started = t
+			rt.Allocated = need
+			st.longRunning = append(st.longRunning, rt)
+			res.LongPlaced++
+		}
+
+		// 1. Observe actual unused resources (prediction target): the
+		// residents' slack plus the running long jobs' slack.
+		unused := make([]resource.Vector, len(vms))
+		for v, st := range vms {
+			u := st.resident.UnusedAt(t)
+			for _, rt := range st.longRunning {
+				u = u.Add(rt.Spec.Request.Sub(rt.Spec.DemandAt(rt.Slots)).ClampNonNegative())
+			}
+			unused[v] = u
+			sched.Observe(v, unused[v])
+		}
+
+		// 2. Refresh forecasts once per window (timed: this is the
+		// prediction part of the allocation path), and let adjusting
+		// schemes re-size running jobs' allocations to current demand.
+		if t%window == 0 {
+			start := time.Now()
+			sched.Refresh()
+			if adj, ok := sched.(scheduler.Adjuster); ok {
+				for _, st := range vms {
+					for _, rt := range st.running {
+						newAlloc, changed := adj.AdjustAlloc(rt.Spec, rt.Spec.DemandAt(rt.Slots))
+						if !changed {
+							continue
+						}
+						if rt.Entity == 1 {
+							st.oppInUse = st.oppInUse.Sub(rt.Allocated).ClampNonNegative().Add(newAlloc)
+						} else {
+							// Fresh increases are bounded by real headroom.
+							headroom := st.capacity.Sub(st.reserved).Sub(st.freshInUse).ClampNonNegative()
+							grow := newAlloc.Sub(rt.Allocated).ClampNonNegative().Min(headroom)
+							newAlloc = rt.Allocated.Min(newAlloc).Add(grow)
+							st.freshInUse = st.freshInUse.Sub(rt.Allocated).ClampNonNegative().Add(newAlloc)
+						}
+						rt.Allocated = newAlloc
+					}
+				}
+			}
+			res.Overhead.AddCompute(float64(time.Since(start).Microseconds()))
+			// One status RPC per VM to collect utilization reports; in a
+			// real deployment this communication dominates the control
+			// loop, with the predictor's compute as the increment on top
+			// (the paper: CORP's DNN "increases the latency a little").
+			for range vms {
+				res.Overhead.AddComm(cl.CommLatencyMicros)
+			}
+		}
+
+		// 3. Admit arrivals into the queue.
+		for nextArrival < len(runtimes) && runtimes[nextArrival].Spec.Arrival <= t {
+			queue = append(queue, runtimes[nextArrival])
+			nextArrival++
+		}
+
+		// 4. Place queued jobs.
+		if len(queue) > 0 {
+			views := make([]scheduler.VMView, len(vms))
+			for v, st := range vms {
+				views[v] = scheduler.VMView{
+					FreshAvailable: st.freshHeadroom(),
+					OppInUse:       st.oppInUse,
+				}
+			}
+			pending := make([]*job.Job, len(queue))
+			byID := make(map[job.ID]*job.Runtime, len(queue))
+			for i, rt := range queue {
+				pending[i] = rt.Spec
+				byID[rt.Spec.ID] = rt
+			}
+			start := time.Now()
+			placements := sched.Place(pending, views)
+			res.Overhead.AddCompute(float64(time.Since(start).Microseconds()))
+			placed := make(map[job.ID]bool)
+			for _, p := range placements {
+				res.Overhead.AddComm(cl.CommLatencyMicros)
+				if len(p.Allocs) != len(p.Jobs) {
+					return nil, fmt.Errorf("sim: placement has %d allocs for %d jobs", len(p.Allocs), len(p.Jobs))
+				}
+				for idx, spec := range p.Jobs {
+					rt := byID[spec.ID]
+					if rt == nil {
+						return nil, fmt.Errorf("sim: scheduler placed unknown job %d", spec.ID)
+					}
+					rt.VM = p.VM
+					rt.Started = t
+					rt.Allocated = p.Allocs[idx]
+					st := vms[p.VM]
+					if p.Opportunistic {
+						st.oppInUse = st.oppInUse.Add(rt.Allocated)
+						res.PlacedOpportunistic++
+					} else {
+						st.freshInUse = st.freshInUse.Add(rt.Allocated)
+						res.PlacedFresh++
+					}
+					rt.Entity = boolToInt(p.Opportunistic)
+					st.running = append(st.running, rt)
+					placed[spec.ID] = true
+				}
+			}
+			if len(placed) > 0 {
+				kept := queue[:0]
+				for _, rt := range queue {
+					if !placed[rt.Spec.ID] {
+						kept = append(kept, rt)
+					}
+				}
+				queue = kept
+			}
+		}
+
+		// 5. Execute one slot on every VM and update ledgers.
+		slotAllocated := resource.Vector{} // short-job allocations
+		slotDemand := resource.Vector{}    // short-job served demand
+		slotClusterAlloc := resource.Vector{}
+		slotClusterDemand := resource.Vector{}
+		for v, st := range vms {
+			resUse := st.resident.DemandAt(t)
+			slotClusterAlloc = slotClusterAlloc.Add(st.reserved).Add(st.freshInUse).Add(st.longReserved)
+			slotClusterDemand = slotClusterDemand.Add(resUse)
+
+			// Long-lived jobs run with guaranteed allocations.
+			keptLong := st.longRunning[:0]
+			for _, rt := range st.longRunning {
+				granted := rt.Spec.DemandAt(rt.Slots).Min(rt.Allocated)
+				slotClusterDemand = slotClusterDemand.Add(granted)
+				rt.Advance(granted)
+				if rt.Progress >= float64(rt.Spec.Duration)-1e-9 {
+					rt.Finished = t
+					st.longReserved = st.longReserved.Sub(rt.Allocated).ClampNonNegative()
+					res.LongFinished++
+				} else {
+					keptLong = append(keptLong, rt)
+				}
+			}
+			st.longRunning = keptLong
+
+			// Opportunistic pool: what the residents truly left unused.
+			pool := unused[v]
+			var wantOpp resource.Vector
+			for _, rt := range st.running {
+				if rt.Entity == 1 {
+					wantOpp = wantOpp.Add(rt.Spec.DemandAt(rt.Slots).Min(rt.Allocated))
+				}
+			}
+			// Per-kind scale factor when the pool is oversubscribed.
+			var scale resource.Vector
+			for k := range scale {
+				if wantOpp[k] <= pool[k] || wantOpp[k] == 0 {
+					scale[k] = 1
+				} else {
+					scale[k] = pool[k] / wantOpp[k]
+				}
+			}
+			finished := st.running[:0]
+			for _, rt := range st.running {
+				want := rt.Spec.DemandAt(rt.Slots).Min(rt.Allocated)
+				granted := want
+				if rt.Entity == 1 {
+					granted = want.Mul(scale)
+				}
+				slotAllocated = slotAllocated.Add(rt.Allocated)
+				slotDemand = slotDemand.Add(granted)
+				slotClusterDemand = slotClusterDemand.Add(granted)
+				rt.Advance(granted)
+				if rt.Progress >= float64(rt.Spec.Duration)-1e-9 {
+					rt.Finished = t
+					if rt.Entity == 1 {
+						st.oppInUse = st.oppInUse.Sub(rt.Allocated).ClampNonNegative()
+					} else {
+						st.freshInUse = st.freshInUse.Sub(rt.Allocated).ClampNonNegative()
+					}
+				} else {
+					finished = append(finished, rt)
+				}
+			}
+			st.running = finished
+		}
+		collector.Observe(slotAllocated, slotDemand)
+		clusterCollector.Observe(slotClusterAlloc.Add(slotAllocated), slotClusterDemand)
+		if cfg.RecordTimeline {
+			res.Timeline = append(res.Timeline, snapshotTimeline(
+				t, cfg.Weights, slotAllocated, slotDemand,
+				slotClusterAlloc.Add(slotAllocated), slotClusterDemand,
+				unused, vms, len(queue)))
+		}
+
+		// 6. Drain matured prediction errors; only steady-state samples
+		// (past the warmup) count toward the Fig. 6 metric.
+		drained := sched.DrainOutcomes()
+		if t >= cfg.Warmup {
+			outcomes = append(outcomes, drained...)
+		}
+	}
+
+	// Final metrics.
+	for _, k := range resource.Kinds() {
+		res.Utilization[k] = collector.Utilization(k)
+		res.ClusterUtilization[k] = clusterCollector.Utilization(k)
+	}
+	res.Overall = collector.Overall(cfg.Weights)
+	res.Wastage = 1 - res.Overall
+	res.ClusterOverall = clusterCollector.Overall(cfg.Weights)
+
+	cpuCap := cl.VMs[0].Capacity.At(resource.CPU)
+	var predOutcomes []metrics.PredictionOutcome
+	for _, o := range outcomes {
+		if o.Kind == resource.CPU {
+			predOutcomes = append(predOutcomes, metrics.PredictionOutcome{Error: o.Error})
+		}
+	}
+	res.PredictionSamples = len(predOutcomes)
+	res.PredictionErrorRate = metrics.PredictionErrorRate(predOutcomes, cfg.Epsilon*cpuCap)
+
+	var respSum, respN float64
+	var responses []int
+	var serviceRates []float64
+	for _, rt := range runtimes {
+		if rt.Done() {
+			res.SLO.Finished++
+			if rt.SLOViolated() {
+				res.SLO.Violated++
+			}
+			respSum += float64(rt.ResponseTime())
+			respN++
+			responses = append(responses, rt.ResponseTime())
+		} else {
+			res.SLO.Unfinished++
+			if rt.VM < 0 {
+				res.NeverPlaced++
+			}
+		}
+		if rt.Slots > 0 {
+			serviceRates = append(serviceRates, rt.Progress/float64(rt.Slots))
+		}
+	}
+	res.SLORate = res.SLO.ViolationRate()
+	if respN > 0 {
+		res.MeanResponseSlots = respSum / respN
+	}
+	if p, ok := metrics.PercentileInt(responses, 50); ok {
+		res.ResponseP50 = p
+	}
+	if p, ok := metrics.PercentileInt(responses, 95); ok {
+		res.ResponseP95 = p
+	}
+	res.Fairness = metrics.JainFairness(serviceRates)
+	return res, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/resource"
+)
+
+// TimelinePoint is one slot's snapshot of the run, recorded when
+// Config.RecordTimeline is set. It backs "utilization over time" analyses
+// and the corpsim -timeline output.
+type TimelinePoint struct {
+	Slot int
+	// ShortUtil is the short-job overall utilization this slot (Eq. 2
+	// over the submitted jobs); zero when no short job is running.
+	ShortUtil float64
+	// ClusterUtil is the whole-cluster overall utilization this slot.
+	ClusterUtil float64
+	// UnusedCPU is the total actual unused CPU across VMs (cores).
+	UnusedCPU float64
+	// OppInUseCPU is the total opportunistically allocated CPU (cores).
+	OppInUseCPU float64
+	// RunningShort and Queued count short jobs in flight and waiting.
+	RunningShort int
+	Queued       int
+}
+
+// WriteTimelineCSV renders a timeline as CSV with a header row.
+func WriteTimelineCSV(w io.Writer, points []TimelinePoint) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"slot", "short_util", "cluster_util", "unused_cpu", "opp_in_use_cpu", "running", "queued",
+	}); err != nil {
+		return err
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	for _, p := range points {
+		if err := cw.Write([]string{
+			strconv.Itoa(p.Slot), f(p.ShortUtil), f(p.ClusterUtil),
+			f(p.UnusedCPU), f(p.OppInUseCPU),
+			strconv.Itoa(p.RunningShort), strconv.Itoa(p.Queued),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadTimelineCSV parses a timeline written by WriteTimelineCSV.
+func ReadTimelineCSV(r io.Reader) ([]TimelinePoint, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("sim: timeline header: %w", err)
+	}
+	if len(header) != 7 {
+		return nil, fmt.Errorf("sim: timeline header has %d columns", len(header))
+	}
+	var out []TimelinePoint
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		ints := make([]int, 0, 3)
+		for _, idx := range []int{0, 5, 6} {
+			v, err := strconv.Atoi(row[idx])
+			if err != nil {
+				return nil, fmt.Errorf("sim: timeline column %d: %w", idx, err)
+			}
+			ints = append(ints, v)
+		}
+		floats := make([]float64, 0, 4)
+		for _, idx := range []int{1, 2, 3, 4} {
+			v, err := strconv.ParseFloat(row[idx], 64)
+			if err != nil {
+				return nil, fmt.Errorf("sim: timeline column %d: %w", idx, err)
+			}
+			floats = append(floats, v)
+		}
+		out = append(out, TimelinePoint{
+			Slot: ints[0], ShortUtil: floats[0], ClusterUtil: floats[1],
+			UnusedCPU: floats[2], OppInUseCPU: floats[3],
+			RunningShort: ints[1], Queued: ints[2],
+		})
+	}
+	return out, nil
+}
+
+// snapshotTimeline builds one slot's point from the loop's ledgers.
+func snapshotTimeline(t int, weights resource.Weights,
+	shortAlloc, shortDemand, clusterAlloc, clusterDemand resource.Vector,
+	unused []resource.Vector, vms []*vmState, queued int) TimelinePoint {
+	p := TimelinePoint{Slot: t, Queued: queued}
+	if den := shortAlloc.Weighted(weights); den > 0 {
+		p.ShortUtil = shortDemand.Weighted(weights) / den
+	}
+	if den := clusterAlloc.Weighted(weights); den > 0 {
+		p.ClusterUtil = clusterDemand.Weighted(weights) / den
+	}
+	for _, u := range unused {
+		p.UnusedCPU += u.At(resource.CPU)
+	}
+	for _, st := range vms {
+		p.OppInUseCPU += st.oppInUse.At(resource.CPU)
+		p.RunningShort += len(st.running)
+	}
+	return p
+}

@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTimelineCSVRoundTrip(t *testing.T) {
+	points := []TimelinePoint{
+		{Slot: 0, ShortUtil: 0.5, ClusterUtil: 0.4, UnusedCPU: 12.5, OppInUseCPU: 3, RunningShort: 4, Queued: 1},
+		{Slot: 1, ShortUtil: 0.75, ClusterUtil: 0.45, UnusedCPU: 11, OppInUseCPU: 4.5, RunningShort: 5, Queued: 0},
+	}
+	var buf bytes.Buffer
+	if err := WriteTimelineCSV(&buf, points); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTimelineCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(points) {
+		t.Fatalf("round trip %d points", len(back))
+	}
+	for i := range points {
+		if back[i] != points[i] {
+			t.Errorf("point %d: %+v vs %+v", i, back[i], points[i])
+		}
+	}
+}
+
+func TestReadTimelineCSVRejectsGarbage(t *testing.T) {
+	if _, err := ReadTimelineCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Error("short header accepted")
+	}
+	bad := "slot,short_util,cluster_util,unused_cpu,opp_in_use_cpu,running,queued\nx,0,0,0,0,0,0\n"
+	if _, err := ReadTimelineCSV(strings.NewReader(bad)); err == nil {
+		t.Error("bad slot accepted")
+	}
+	bad2 := "slot,short_util,cluster_util,unused_cpu,opp_in_use_cpu,running,queued\n0,y,0,0,0,0,0\n"
+	if _, err := ReadTimelineCSV(strings.NewReader(bad2)); err == nil {
+		t.Error("bad float accepted")
+	}
+}

@@ -1,0 +1,163 @@
+package stats
+
+// HoltWintersETS is additive triple exponential smoothing (Holt–Winters):
+// level, trend and a seasonal component of fixed period. The paper's RCCR
+// discussion cites seasonal time-series configuration (Taskaya-Temizel &
+// Casey) as the family its forecasting comes from; Holt–Winters lets the
+// RCCR baseline be upgraded when workloads do have daily/period structure,
+// and serves as another point of comparison in the extension experiments.
+type HoltWintersETS struct {
+	alpha, beta, gamma float64
+	period             int
+
+	level, trend float64
+	seasonal     []float64
+	initBuf      []float64
+	seen         int
+	ready        bool
+}
+
+// NewHoltWintersETS returns a Holt–Winters forecaster with the given
+// smoothing parameters and seasonal period (≥ 2). Parameters are clamped
+// to (0, 1].
+func NewHoltWintersETS(alpha, beta, gamma float64, period int) *HoltWintersETS {
+	clamp := func(x, def float64) float64 {
+		if x <= 0 {
+			return def
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	}
+	if period < 2 {
+		period = 2
+	}
+	return &HoltWintersETS{
+		alpha:    clamp(alpha, 0.4),
+		beta:     clamp(beta, 0.1),
+		gamma:    clamp(gamma, 0.2),
+		period:   period,
+		seasonal: make([]float64, period),
+	}
+}
+
+// Observe folds one sample. The first two full periods initialize the
+// level, trend and seasonal indices; smoothing starts afterwards.
+func (h *HoltWintersETS) Observe(x float64) {
+	if !h.ready {
+		h.initBuf = append(h.initBuf, x)
+		h.seen++
+		if len(h.initBuf) == 2*h.period {
+			h.initialize()
+		}
+		return
+	}
+	s := h.seen % h.period
+	prevLevel := h.level
+	h.level = h.alpha*(x-h.seasonal[s]) + (1-h.alpha)*(h.level+h.trend)
+	h.trend = h.beta*(h.level-prevLevel) + (1-h.beta)*h.trend
+	h.seasonal[s] = h.gamma*(x-h.level) + (1-h.gamma)*h.seasonal[s]
+	h.seen++
+}
+
+// initialize sets level/trend/seasonal from the first two periods.
+func (h *HoltWintersETS) initialize() {
+	p := h.period
+	var mean1, mean2 float64
+	for i := 0; i < p; i++ {
+		mean1 += h.initBuf[i] / float64(p)
+		mean2 += h.initBuf[p+i] / float64(p)
+	}
+	h.level = mean2
+	h.trend = (mean2 - mean1) / float64(p)
+	for i := 0; i < p; i++ {
+		h.seasonal[i] = (h.initBuf[i] - mean1 + h.initBuf[p+i] - mean2) / 2
+	}
+	h.initBuf = nil
+	h.ready = true
+}
+
+// Ready reports whether initialization has completed (two full periods).
+func (h *HoltWintersETS) Ready() bool { return h.ready }
+
+// Forecast returns the k-step-ahead forecast
+// level + k·trend + seasonal[(t+k) mod period]. Before initialization it
+// returns the mean of the buffered samples.
+func (h *HoltWintersETS) Forecast(k int) float64 {
+	if !h.ready {
+		return Mean(h.initBuf)
+	}
+	if k < 1 {
+		k = 1
+	}
+	s := (h.seen + k - 1) % h.period
+	return h.level + float64(k)*h.trend + h.seasonal[s]
+}
+
+// Histogram is a fixed-bin histogram over [lo, hi] with clamping, used for
+// offline trace analysis and the experiment harness's distribution notes.
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	total  int
+}
+
+// NewHistogram builds a histogram with bins ≥ 1 over [lo, hi] (a
+// degenerate range is widened).
+func NewHistogram(bins int, lo, hi float64) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}
+}
+
+// Observe adds one sample, clamping out-of-range values to the edge bins.
+func (h *Histogram) Observe(x float64) {
+	f := (x - h.lo) / (h.hi - h.lo)
+	b := int(f * float64(len(h.counts)))
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(h.counts) {
+		b = len(h.counts) - 1
+	}
+	h.counts[b]++
+	h.total++
+}
+
+// Total returns the number of samples observed.
+func (h *Histogram) Total() int { return h.total }
+
+// Count returns bin b's count.
+func (h *Histogram) Count(b int) int { return h.counts[b] }
+
+// Quantile returns an approximate q-quantile (q in [0,1]) by walking the
+// bins and interpolating inside the containing bin. It returns lo for an
+// empty histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.total == 0 {
+		return h.lo
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := q * float64(h.total)
+	var acc float64
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	for b, c := range h.counts {
+		next := acc + float64(c)
+		if next >= target && c > 0 {
+			frac := (target - acc) / float64(c)
+			return h.lo + (float64(b)+frac)*width
+		}
+		acc = next
+	}
+	return h.hi
+}

@@ -1,0 +1,150 @@
+package stats
+
+import "math"
+
+// Online estimators: Welford mean/variance and an O(1) amortized sliding
+// window min/max (monotonic deque). The per-VM predictors recompute window
+// statistics every slot; these structures keep that constant-time at any
+// window length.
+
+// OnlineStats accumulates count, mean and variance in one pass (Welford's
+// algorithm), numerically stable for long streams.
+type OnlineStats struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Observe folds one sample.
+func (o *OnlineStats) Observe(x float64) {
+	o.n++
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// N returns the sample count.
+func (o *OnlineStats) N() int { return o.n }
+
+// Mean returns the running mean (0 before any sample).
+func (o *OnlineStats) Mean() float64 { return o.mean }
+
+// Variance returns the population variance.
+func (o *OnlineStats) Variance() float64 {
+	if o.n == 0 {
+		return 0
+	}
+	return o.m2 / float64(o.n)
+}
+
+// SampleVariance returns the unbiased (n−1) variance.
+func (o *OnlineStats) SampleVariance() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// SampleStdDev returns the unbiased standard deviation.
+func (o *OnlineStats) SampleStdDev() float64 {
+	return math.Sqrt(o.SampleVariance())
+}
+
+// Merge folds another accumulator into this one (Chan et al.'s parallel
+// combination), enabling per-shard accumulation in parallel sweeps.
+func (o *OnlineStats) Merge(other OnlineStats) {
+	if other.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = other
+		return
+	}
+	nA, nB := float64(o.n), float64(other.n)
+	delta := other.mean - o.mean
+	total := nA + nB
+	o.mean += delta * nB / total
+	o.m2 += other.m2 + delta*delta*nA*nB/total
+	o.n += other.n
+}
+
+// SlidingExtrema tracks the minimum and maximum of the last W pushed
+// samples in O(1) amortized time per push, using a pair of monotonic
+// deques. It is the constant-time backing for window range (Δⱼ) and
+// burst statistics.
+type SlidingExtrema struct {
+	window int
+	idx    int
+	minQ   []extremaEntry
+	maxQ   []extremaEntry
+	count  int
+}
+
+type extremaEntry struct {
+	idx int
+	val float64
+}
+
+// NewSlidingExtrema returns a tracker over a window of the given length
+// (raised to 1 if smaller).
+func NewSlidingExtrema(window int) *SlidingExtrema {
+	if window < 1 {
+		window = 1
+	}
+	return &SlidingExtrema{window: window}
+}
+
+// Push adds a sample, evicting entries that fell out of the window.
+func (s *SlidingExtrema) Push(x float64) {
+	// Pop dominated entries from the backs.
+	for len(s.minQ) > 0 && s.minQ[len(s.minQ)-1].val >= x {
+		s.minQ = s.minQ[:len(s.minQ)-1]
+	}
+	s.minQ = append(s.minQ, extremaEntry{s.idx, x})
+	for len(s.maxQ) > 0 && s.maxQ[len(s.maxQ)-1].val <= x {
+		s.maxQ = s.maxQ[:len(s.maxQ)-1]
+	}
+	s.maxQ = append(s.maxQ, extremaEntry{s.idx, x})
+	s.idx++
+	if s.count < s.window {
+		s.count++
+	}
+	// Expire entries outside the window from the fronts.
+	cutoff := s.idx - s.window
+	for len(s.minQ) > 0 && s.minQ[0].idx < cutoff {
+		s.minQ = s.minQ[1:]
+	}
+	for len(s.maxQ) > 0 && s.maxQ[0].idx < cutoff {
+		s.maxQ = s.maxQ[1:]
+	}
+}
+
+// Len returns how many samples are inside the window.
+func (s *SlidingExtrema) Len() int { return s.count }
+
+// Min returns the window minimum; ok is false when empty.
+func (s *SlidingExtrema) Min() (v float64, ok bool) {
+	if len(s.minQ) == 0 {
+		return 0, false
+	}
+	return s.minQ[0].val, true
+}
+
+// Max returns the window maximum; ok is false when empty.
+func (s *SlidingExtrema) Max() (v float64, ok bool) {
+	if len(s.maxQ) == 0 {
+		return 0, false
+	}
+	return s.maxQ[0].val, true
+}
+
+// Range returns max − min over the window (the paper's Δⱼ); ok is false
+// when empty.
+func (s *SlidingExtrema) Range() (v float64, ok bool) {
+	lo, ok1 := s.Min()
+	hi, ok2 := s.Max()
+	if !ok1 || !ok2 {
+		return 0, false
+	}
+	return hi - lo, true
+}

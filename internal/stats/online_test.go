@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOnlineStatsMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 500)
+	var o OnlineStats
+	for i := range xs {
+		xs[i] = rng.NormFloat64()*3 + 7
+		o.Observe(xs[i])
+	}
+	if o.N() != 500 {
+		t.Errorf("N = %d", o.N())
+	}
+	if math.Abs(o.Mean()-Mean(xs)) > 1e-10 {
+		t.Errorf("mean %v vs batch %v", o.Mean(), Mean(xs))
+	}
+	if math.Abs(o.Variance()-Variance(xs)) > 1e-9 {
+		t.Errorf("variance %v vs batch %v", o.Variance(), Variance(xs))
+	}
+	if math.Abs(o.SampleStdDev()-SampleStdDev(xs)) > 1e-9 {
+		t.Errorf("stddev %v vs batch %v", o.SampleStdDev(), SampleStdDev(xs))
+	}
+}
+
+func TestOnlineStatsEmpty(t *testing.T) {
+	var o OnlineStats
+	if o.Mean() != 0 || o.Variance() != 0 || o.SampleVariance() != 0 {
+		t.Error("empty accumulator should be zero")
+	}
+}
+
+func TestOnlineStatsMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var all, a, b OnlineStats
+	for i := 0; i < 400; i++ {
+		x := rng.ExpFloat64()
+		all.Observe(x)
+		if i%2 == 0 {
+			a.Observe(x)
+		} else {
+			b.Observe(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), all.N())
+	}
+	if math.Abs(a.Mean()-all.Mean()) > 1e-10 {
+		t.Errorf("merged mean %v vs %v", a.Mean(), all.Mean())
+	}
+	if math.Abs(a.Variance()-all.Variance()) > 1e-9 {
+		t.Errorf("merged variance %v vs %v", a.Variance(), all.Variance())
+	}
+	// Merging into/with empty.
+	var empty OnlineStats
+	empty.Merge(a)
+	if empty.N() != a.N() {
+		t.Error("merge into empty lost samples")
+	}
+	before := a.N()
+	a.Merge(OnlineStats{})
+	if a.N() != before {
+		t.Error("merging empty changed the accumulator")
+	}
+}
+
+func TestSlidingExtremaBasics(t *testing.T) {
+	s := NewSlidingExtrema(3)
+	if _, ok := s.Min(); ok {
+		t.Error("empty window should have no min")
+	}
+	for _, x := range []float64{5, 3, 8} {
+		s.Push(x)
+	}
+	if lo, _ := s.Min(); lo != 3 {
+		t.Errorf("min = %v", lo)
+	}
+	if hi, _ := s.Max(); hi != 8 {
+		t.Errorf("max = %v", hi)
+	}
+	if r, _ := s.Range(); r != 5 {
+		t.Errorf("range = %v", r)
+	}
+	// Push 1: window becomes {3, 8, 1}.
+	s.Push(1)
+	if lo, _ := s.Min(); lo != 1 {
+		t.Errorf("min after slide = %v", lo)
+	}
+	if hi, _ := s.Max(); hi != 8 {
+		t.Errorf("max after slide = %v", hi)
+	}
+	// Push 2, 2: window {1, 2, 2} → 8 expired.
+	s.Push(2)
+	s.Push(2)
+	if hi, _ := s.Max(); hi != 2 {
+		t.Errorf("max after expiry = %v", hi)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestSlidingExtremaWindowOne(t *testing.T) {
+	s := NewSlidingExtrema(0) // raised to 1
+	s.Push(4)
+	s.Push(9)
+	if lo, _ := s.Min(); lo != 9 {
+		t.Errorf("window-1 min = %v, want the latest sample", lo)
+	}
+}
+
+// Property: the deque always agrees with a brute-force window scan.
+func TestQuickSlidingExtremaMatchesBruteForce(t *testing.T) {
+	f := func(raw []float64, rawW uint8) bool {
+		w := int(rawW%8) + 1
+		s := NewSlidingExtrema(w)
+		var hist []float64
+		for _, x := range raw {
+			if math.IsNaN(x) {
+				x = 0
+			}
+			x = math.Mod(x, 1000)
+			s.Push(x)
+			hist = append(hist, x)
+			start := len(hist) - w
+			if start < 0 {
+				start = 0
+			}
+			win := hist[start:]
+			lo, hi := win[0], win[0]
+			for _, v := range win[1:] {
+				lo = math.Min(lo, v)
+				hi = math.Max(hi, v)
+			}
+			gotLo, ok1 := s.Min()
+			gotHi, ok2 := s.Max()
+			if !ok1 || !ok2 || gotLo != lo || gotHi != hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSlidingExtremaPush(b *testing.B) {
+	s := NewSlidingExtrema(64)
+	for i := 0; i < b.N; i++ {
+		s.Push(float64(i % 97))
+	}
+}

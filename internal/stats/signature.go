@@ -1,0 +1,220 @@
+package stats
+
+import "math"
+
+// PRESS-style signature detection, used by the CloudScale baseline.
+//
+// CloudScale builds on PRESS (Gong et al., CNSM 2010): it computes a
+// periodogram of the recent resource-usage series, and if a dominant period
+// explains enough of the signal energy it predicts by replaying the
+// per-period "signature" pattern; otherwise it falls back to a discrete-time
+// Markov chain over binned usage levels. Short-lived jobs rarely exhibit a
+// dominant period, which is precisely why CloudScale underperforms CORP in
+// the paper's evaluation — this implementation preserves that behaviour.
+
+// Periodogram returns the power spectrum |X(k)|² / n of the series for
+// k = 1..n/2 (the DC component is excluded), computed with a direct DFT.
+// A direct O(n²) transform is deliberate: prediction windows are tens of
+// samples, so an FFT would add complexity without measurable benefit.
+func Periodogram(series []float64) []float64 {
+	n := len(series)
+	if n < 4 {
+		return nil
+	}
+	m := Mean(series)
+	half := n / 2
+	power := make([]float64, half)
+	for k := 1; k <= half; k++ {
+		var re, im float64
+		for t, x := range series {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			c := x - m
+			re += c * math.Cos(angle)
+			im += c * math.Sin(angle)
+		}
+		power[k-1] = (re*re + im*im) / float64(n)
+	}
+	return power
+}
+
+// DominantPeriod finds the period (in samples) whose spectral peak carries
+// at least minShare of the total spectral energy. It returns (period, true)
+// when such a signature exists and (0, false) otherwise.
+func DominantPeriod(series []float64, minShare float64) (int, bool) {
+	power := Periodogram(series)
+	if len(power) == 0 {
+		return 0, false
+	}
+	var total float64
+	best := 0
+	for k, p := range power {
+		total += p
+		if p > power[best] {
+			best = k
+		}
+	}
+	if total <= 0 {
+		return 0, false
+	}
+	if power[best]/total < minShare {
+		return 0, false
+	}
+	freq := best + 1 // k index
+	if freq < 2 {
+		// Frequency 1 is the trend itself, not a repeating signature: one
+		// "period" spans the whole window, so the pattern can never be
+		// validated against a second occurrence.
+		return 0, false
+	}
+	period := len(series) / freq
+	if period < 2 {
+		return 0, false
+	}
+	return period, true
+}
+
+// Signature extracts the average per-phase pattern for the given period:
+// element i is the mean of all samples at phase i. It returns nil when the
+// period does not fit in the series at least twice.
+func Signature(series []float64, period int) []float64 {
+	if period < 1 || len(series) < 2*period {
+		return nil
+	}
+	sig := make([]float64, period)
+	count := make([]int, period)
+	for t, x := range series {
+		p := t % period
+		sig[p] += x
+		count[p]++
+	}
+	for i := range sig {
+		sig[i] /= float64(count[i])
+	}
+	return sig
+}
+
+// SignaturePredict forecasts the next h values by replaying the signature
+// starting at the phase that follows the series end.
+func SignaturePredict(series []float64, period, h int) []float64 {
+	sig := Signature(series, period)
+	if sig == nil || h < 1 {
+		return nil
+	}
+	out := make([]float64, h)
+	for i := 0; i < h; i++ {
+		out[i] = sig[(len(series)+i)%period]
+	}
+	return out
+}
+
+// MarkovChain is a first-order discrete-time Markov chain over usage levels
+// quantized into equal-width bins. It is the PRESS fallback predictor that
+// CloudScale uses "when pattern is not found".
+type MarkovChain struct {
+	bins   int
+	lo, hi float64
+	counts [][]float64 // transition counts with Laplace smoothing
+	last   int
+	seen   int
+}
+
+// NewMarkovChain builds a chain with the given number of bins over the
+// value range [lo, hi]. Bins < 2 are raised to 2; a degenerate range is
+// widened slightly so binning stays defined.
+func NewMarkovChain(bins int, lo, hi float64) *MarkovChain {
+	if bins < 2 {
+		bins = 2
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	counts := make([][]float64, bins)
+	for i := range counts {
+		counts[i] = make([]float64, bins)
+	}
+	return &MarkovChain{bins: bins, lo: lo, hi: hi, counts: counts}
+}
+
+// Bin quantizes a value into a bin index, clamping out-of-range values.
+func (mc *MarkovChain) Bin(x float64) int {
+	f := (x - mc.lo) / (mc.hi - mc.lo)
+	b := int(f * float64(mc.bins))
+	if b < 0 {
+		b = 0
+	}
+	if b >= mc.bins {
+		b = mc.bins - 1
+	}
+	return b
+}
+
+// binCenter returns the representative value for a bin.
+func (mc *MarkovChain) binCenter(b int) float64 {
+	width := (mc.hi - mc.lo) / float64(mc.bins)
+	return mc.lo + (float64(b)+0.5)*width
+}
+
+// Observe folds one sample into the transition counts.
+func (mc *MarkovChain) Observe(x float64) {
+	b := mc.Bin(x)
+	if mc.seen > 0 {
+		mc.counts[mc.last][b]++
+	}
+	mc.last = b
+	mc.seen++
+}
+
+// Fit observes an entire series.
+func (mc *MarkovChain) Fit(series []float64) {
+	for _, x := range series {
+		mc.Observe(x)
+	}
+}
+
+// TransitionRow returns the smoothed transition distribution out of bin b
+// (additive smoothing of 0.1 so unseen transitions keep nonzero mass
+// without drowning short histories in prior probability).
+func (mc *MarkovChain) TransitionRow(b int) []float64 {
+	row := make([]float64, mc.bins)
+	var total float64
+	for j, c := range mc.counts[b] {
+		row[j] = c + 0.1
+		total += row[j]
+	}
+	for j := range row {
+		row[j] /= total
+	}
+	return row
+}
+
+// Predict returns the expected value h steps ahead of the last observed
+// sample, computed by propagating the state distribution through the
+// transition matrix. Before any observation it returns the range midpoint.
+func (mc *MarkovChain) Predict(h int) float64 {
+	if mc.seen == 0 {
+		return (mc.lo + mc.hi) / 2
+	}
+	if h < 1 {
+		h = 1
+	}
+	dist := make([]float64, mc.bins)
+	dist[mc.last] = 1
+	for step := 0; step < h; step++ {
+		next := make([]float64, mc.bins)
+		for i, p := range dist {
+			if p == 0 {
+				continue
+			}
+			row := mc.TransitionRow(i)
+			for j, q := range row {
+				next[j] += p * q
+			}
+		}
+		dist = next
+	}
+	var ev float64
+	for b, p := range dist {
+		ev += p * mc.binCenter(b)
+	}
+	return ev
+}

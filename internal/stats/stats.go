@@ -1,0 +1,245 @@
+// Package stats is the statistics substrate for the CORP reproduction.
+//
+// It provides the numerical building blocks the paper's predictors rely on:
+// descriptive statistics, standard-normal quantiles for confidence intervals
+// (paper Eqs. 18–19), exponential-smoothing time-series forecasting (the ETS
+// predictor used by the RCCR baseline), a periodogram/signature detector and
+// a discrete-time Markov chain (the PRESS-style predictor used by the
+// CloudScale baseline), and windowed online estimators.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that need at least one sample.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (0 for fewer than one
+// sample).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// SampleStdDev returns the unbiased (n−1) sample standard deviation, the σ̂
+// estimator the paper uses for prediction errors (Eq. 18). It returns 0 for
+// fewer than two samples.
+func SampleStdDev(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n-1))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// MinMax returns the minimum and maximum of xs. It returns ErrEmpty for an
+// empty slice.
+func MinMax(xs []float64) (lo, hi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmpty
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi, nil
+}
+
+// Percentile returns the p-th percentile (p in [0,100]) of xs using linear
+// interpolation between closest ranks. It returns ErrEmpty for an empty
+// slice.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0], nil
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// NormalQuantile returns the p-quantile of the standard normal distribution
+// (the value z with Φ(z) = p). It uses the exact inverse error function.
+// p must be in (0, 1); out-of-range values return ∓Inf.
+func NormalQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	return math.Sqrt2 * math.Erfinv(2*p-1)
+}
+
+// ZForConfidence returns z_{θ/2} of paper Eq. 18: for confidence level η,
+// significance θ = 1−η, the two-sided critical value is the (1 − θ/2)
+// standard-normal quantile. E.g. η = 0.90 → z ≈ 1.645.
+func ZForConfidence(eta float64) float64 {
+	if eta < 0 {
+		eta = 0
+	}
+	if eta > 1 {
+		eta = 1
+	}
+	theta := 1 - eta
+	return NormalQuantile(1 - theta/2)
+}
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha in (0, 1]. The zero value is not ready; use NewEWMA.
+type EWMA struct {
+	alpha float64
+	value float64
+	ready bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. Alpha is clamped
+// to (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	if alpha > 1 {
+		alpha = 1
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Observe folds a new sample into the average and returns the updated value.
+func (e *EWMA) Observe(x float64) float64 {
+	if !e.ready {
+		e.value = x
+		e.ready = true
+		return x
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Ready reports whether at least one sample has been observed.
+func (e *EWMA) Ready() bool { return e.ready }
+
+// Window is a fixed-capacity sliding window of float64 samples. It is the
+// backing store for the paper's per-window prediction-error statistics
+// (Eq. 20) and for HMM observation histories.
+type Window struct {
+	buf  []float64
+	head int
+	n    int
+}
+
+// NewWindow returns a window holding at most capacity samples. Capacity
+// must be ≥ 1; smaller values are raised to 1.
+func NewWindow(capacity int) *Window {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Window{buf: make([]float64, capacity)}
+}
+
+// Push appends x, evicting the oldest sample when full.
+func (w *Window) Push(x float64) {
+	if w.n < len(w.buf) {
+		w.buf[(w.head+w.n)%len(w.buf)] = x
+		w.n++
+		return
+	}
+	w.buf[w.head] = x
+	w.head = (w.head + 1) % len(w.buf)
+}
+
+// Len returns the number of stored samples.
+func (w *Window) Len() int { return w.n }
+
+// Cap returns the window capacity.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// At returns the i-th oldest sample (0 = oldest). It panics when i is out
+// of range, matching slice semantics.
+func (w *Window) At(i int) float64 {
+	if i < 0 || i >= w.n {
+		panic("stats: Window index out of range")
+	}
+	return w.buf[(w.head+i)%len(w.buf)]
+}
+
+// Values copies the samples oldest-first into a fresh slice.
+func (w *Window) Values() []float64 {
+	out := make([]float64, w.n)
+	for i := 0; i < w.n; i++ {
+		out[i] = w.At(i)
+	}
+	return out
+}
+
+// Last returns the newest sample; ok is false when empty.
+func (w *Window) Last() (v float64, ok bool) {
+	if w.n == 0 {
+		return 0, false
+	}
+	return w.At(w.n - 1), true
+}
+
+// Mean returns the mean of the stored samples (0 when empty).
+func (w *Window) Mean() float64 { return Mean(w.Values()) }
+
+// Reset drops all samples.
+func (w *Window) Reset() {
+	w.head = 0
+	w.n = 0
+}

@@ -1,0 +1,153 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/resource"
+)
+
+// googleRow builds one 20-column task_usage row.
+func googleRow(startUS, endUS int64, jobID, task string, cpu, mem, disk string) string {
+	cols := make([]string, 20)
+	cols[0] = itoa64(startUS)
+	cols[1] = itoa64(endUS)
+	cols[2] = jobID
+	cols[3] = task
+	cols[4] = "m1"
+	cols[5] = cpu
+	cols[6] = mem
+	cols[12] = disk
+	return strings.Join(cols, ",")
+}
+
+func itoa64(x int64) string {
+	var b []byte
+	if x == 0 {
+		return "0"
+	}
+	for x > 0 {
+		b = append([]byte{byte('0' + x%10)}, b...)
+		x /= 10
+	}
+	return string(b)
+}
+
+func TestReadGoogleTaskUsage(t *testing.T) {
+	// Task (1, 0): two 5-minute samples; task (2, 0): one sample.
+	const us5min = 300 * 1e6
+	data := strings.Join([]string{
+		googleRow(0, us5min, "1", "0", "0.25", "0.1", "0.05"),
+		googleRow(us5min, 2*us5min, "1", "0", "0.5", "0.1", "0.05"),
+		googleRow(0, us5min, "2", "0", "0.1", "0.4", ""),
+	}, "\n") + "\n"
+
+	jobs, err := ReadGoogleTaskUsage(strings.NewReader(data), GoogleReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("got %d jobs", len(jobs))
+	}
+	j1 := jobs[0]
+	if j1.Duration != 2*CoarseSlots {
+		t.Errorf("task 1 duration = %d slots, want %d", j1.Duration, 2*CoarseSlots)
+	}
+	// First slot: 0.25 of 4 cores = 1 core.
+	if got := j1.Usage[0].At(resource.CPU); got != 1 {
+		t.Errorf("task 1 first-slot CPU = %v, want 1", got)
+	}
+	// Usage interpolates up toward the second sample (0.5×4 = 2).
+	mid := j1.Usage[CoarseSlots].At(resource.CPU)
+	if mid < 1.5 {
+		t.Errorf("interpolated CPU at sample 2 start = %v, want ≈ 2", mid)
+	}
+	// Empty disk field reads as zero.
+	j2 := jobs[1]
+	if got := j2.Usage[0].At(resource.Storage); got != 0 {
+		t.Errorf("task 2 disk = %v, want 0", got)
+	}
+	if j2.Class != job.MemIntensive {
+		t.Errorf("task 2 class = %v, want mem-intensive", j2.Class)
+	}
+}
+
+func TestReadGoogleShortOnlyFilters(t *testing.T) {
+	const us5min = 300 * 1e6
+	// Task 1 runs 10 minutes (> 5-minute timeout), task 2 runs 5.
+	data := strings.Join([]string{
+		googleRow(0, us5min, "1", "0", "0.2", "0.1", "0"),
+		googleRow(us5min, 2*us5min, "1", "0", "0.2", "0.1", "0"),
+		googleRow(0, us5min, "2", "0", "0.1", "0.1", "0"),
+	}, "\n") + "\n"
+	jobs, err := ReadGoogleTaskUsage(strings.NewReader(data), GoogleReadOptions{ShortOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 {
+		t.Fatalf("ShortOnly kept %d tasks, want 1", len(jobs))
+	}
+}
+
+func TestReadGoogleMaxTasks(t *testing.T) {
+	const us5min = 300 * 1e6
+	data := strings.Join([]string{
+		googleRow(0, us5min, "1", "0", "0.2", "0.1", "0"),
+		googleRow(0, us5min, "2", "0", "0.2", "0.1", "0"),
+		googleRow(0, us5min, "3", "0", "0.2", "0.1", "0"),
+	}, "\n") + "\n"
+	jobs, err := ReadGoogleTaskUsage(strings.NewReader(data), GoogleReadOptions{MaxTasks: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 2 {
+		t.Fatalf("MaxTasks kept %d", len(jobs))
+	}
+}
+
+func TestReadGoogleRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"1,2,3\n", // too few columns
+		googleRow(0, 300e6, "1", "0", "x", "0.1", "0") + "\n",    // bad cpu
+		googleRow(0, 300e6, "1", "0", "-0.5", "0.1", "0") + "\n", // negative
+		"a,b,1,0,m,0.1,0.1,,,,,,0,,,,,,,\n",                      // bad times
+	}
+	for i, c := range cases {
+		if _, err := ReadGoogleTaskUsage(strings.NewReader(c), GoogleReadOptions{}); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestGoogleRoundTrip(t *testing.T) {
+	jobs, err := GenerateShortJobs(Config{Seed: 3, NumJobs: 10, MeanDuration: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := resource.New(4, 16, 180)
+	var buf bytes.Buffer
+	if err := WriteGoogleTaskUsage(&buf, jobs, cap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadGoogleTaskUsage(&buf, GoogleReadOptions{MachineCapacity: cap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(jobs) {
+		t.Fatalf("round trip %d jobs, want %d", len(back), len(jobs))
+	}
+	// The coarse resampling loses slot detail but the mean CPU usage of
+	// each job should be preserved within the interpolation error.
+	for i := range jobs {
+		want := jobs[i].MeanDemand().At(resource.CPU)
+		got := back[i].MeanDemand().At(resource.CPU)
+		if want == 0 {
+			continue
+		}
+		if rel := (got - want) / want; rel > 0.35 || rel < -0.35 {
+			t.Errorf("job %d mean CPU: wrote %v, read %v", i, want, got)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/job"
+	"repro/internal/resource"
+)
+
+// jobJSON is the on-disk JSON shape of one job. Usage rows are
+// [cpu, mem, sto] triples to keep files compact and diff-friendly.
+type jobJSON struct {
+	ID        int          `json:"id"`
+	Class     string       `json:"class"`
+	Arrival   int          `json:"arrival"`
+	Duration  int          `json:"duration"`
+	SLOFactor float64      `json:"slo_factor"`
+	Request   [3]float64   `json:"request"`
+	Usage     [][3]float64 `json:"usage"`
+}
+
+func toJSON(j *job.Job) jobJSON {
+	out := jobJSON{
+		ID:        int(j.ID),
+		Class:     j.Class.String(),
+		Arrival:   j.Arrival,
+		Duration:  j.Duration,
+		SLOFactor: j.SLOFactor,
+		Request:   [3]float64(j.Request),
+	}
+	for _, u := range j.Usage {
+		out.Usage = append(out.Usage, [3]float64(u))
+	}
+	return out
+}
+
+func classFromString(s string) (job.Class, error) {
+	for _, c := range []job.Class{job.Balanced, job.CPUIntensive, job.MemIntensive, job.StorageIntensive} {
+		if c.String() == s {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown class %q", s)
+}
+
+func fromJSON(in jobJSON) (*job.Job, error) {
+	class, err := classFromString(in.Class)
+	if err != nil {
+		return nil, err
+	}
+	j := &job.Job{
+		ID:        job.ID(in.ID),
+		Class:     class,
+		Arrival:   in.Arrival,
+		Duration:  in.Duration,
+		SLOFactor: in.SLOFactor,
+		Request:   resource.Vector(in.Request),
+	}
+	for _, u := range in.Usage {
+		j.Usage = append(j.Usage, resource.Vector(u))
+	}
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+// WriteJSON streams the jobs as a JSON array.
+func WriteJSON(w io.Writer, jobs []*job.Job) error {
+	out := make([]jobJSON, len(jobs))
+	for i, j := range jobs {
+		out[i] = toJSON(j)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a JSON array of jobs and validates every spec.
+func ReadJSON(r io.Reader) ([]*job.Job, error) {
+	var raw []jobJSON
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	jobs := make([]*job.Job, 0, len(raw))
+	for _, in := range raw {
+		j, err := fromJSON(in)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, j)
+	}
+	return jobs, nil
+}
+
+// csvHeader is the flat per-slot CSV schema, one row per (job, slot),
+// mirroring the Google trace's task-usage table.
+var csvHeader = []string{
+	"job_id", "class", "arrival", "duration", "slo_factor",
+	"req_cpu", "req_mem", "req_sto", "slot", "use_cpu", "use_mem", "use_sto",
+}
+
+// WriteCSV writes the jobs in a flat per-slot CSV table.
+func WriteCSV(w io.Writer, jobs []*job.Job) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(x float64) string { return strconv.FormatFloat(x, 'g', -1, 64) }
+	for _, j := range jobs {
+		for s, u := range j.Usage {
+			row := []string{
+				strconv.Itoa(int(j.ID)), j.Class.String(),
+				strconv.Itoa(j.Arrival), strconv.Itoa(j.Duration), f(j.SLOFactor),
+				f(j.Request[0]), f(j.Request[1]), f(j.Request[2]),
+				strconv.Itoa(s),
+				f(u[0]), f(u[1]), f(u[2]),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the flat per-slot table back into job specs. Rows must be
+// grouped by job and ordered by slot within a job (the format WriteCSV
+// emits).
+func ReadCSV(r io.Reader) ([]*job.Job, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: csv header: %w", err)
+	}
+	if len(header) != len(csvHeader) {
+		return nil, fmt.Errorf("trace: csv header has %d columns, want %d", len(header), len(csvHeader))
+	}
+	var jobs []*job.Job
+	var cur *job.Job
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: csv row: %w", err)
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad job_id %q: %w", row[0], err)
+		}
+		if cur == nil || int(cur.ID) != id {
+			class, err := classFromString(row[1])
+			if err != nil {
+				return nil, err
+			}
+			nums, err := parseFloats(row[2:8])
+			if err != nil {
+				return nil, err
+			}
+			cur = &job.Job{
+				ID:        job.ID(id),
+				Class:     class,
+				Arrival:   int(nums[0]),
+				Duration:  int(nums[1]),
+				SLOFactor: nums[2],
+				Request:   resource.New(nums[3], nums[4], nums[5]),
+			}
+			jobs = append(jobs, cur)
+		}
+		use, err := parseFloats(row[9:12])
+		if err != nil {
+			return nil, err
+		}
+		cur.Usage = append(cur.Usage, resource.New(use[0], use[1], use[2]))
+	}
+	for _, j := range jobs {
+		if err := j.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return jobs, nil
+}
+
+func parseFloats(fields []string) ([]float64, error) {
+	out := make([]float64, len(fields))
+	for i, f := range fields {
+		x, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad number %q: %w", f, err)
+		}
+		out[i] = x
+	}
+	return out, nil
+}
