@@ -1,0 +1,32 @@
+# Development targets for the CORP reproduction. `make check` is the
+# gate CI (and contributors) run before merging.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race bench
+
+check: fmt vet build test race
+
+# gofmt -l prints unformatted files; fail loudly if there are any.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" ; echo "$$out" ; exit 1 ; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The race subset covers the packages with real concurrency: the parallel
+# sweep runner and the DNN's shared training state. -short skips the
+# heavyweight single-threaded determinism tests (they add minutes under
+# the race detector and no concurrency coverage).
+race:
+	$(GO) test -race -short ./internal/sim ./internal/dnn
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

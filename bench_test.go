@@ -220,3 +220,25 @@ func BenchmarkExtensionMixedWorkload(b *testing.B) { benchFigure(b, "ext-mixed")
 
 // BenchmarkExtensionOracleGap measures the CORP-to-oracle headroom.
 func BenchmarkExtensionOracleGap(b *testing.B) { benchFigure(b, "ext-oracle") }
+
+// BenchmarkExtensionFaults sweeps the failure rate through the fault
+// injector.
+func BenchmarkExtensionFaults(b *testing.B) { benchFigure(b, "ext-faults") }
+
+// TestReproduceExtFaultsQuick runs the fault-tolerance extension through
+// the public facade (the acceptance path for the fault subsystem).
+func TestReproduceExtFaultsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	f, err := ReproduceFigure("ext-faults", QuickOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "ext-faults" || len(f.Series) != 8 {
+		t.Fatalf("figure = %q with %d series", f.ID, len(f.Series))
+	}
+	// The facade re-exports the fault config and deterministic clock.
+	var _ FaultConfig = FaultConfig{VMCrashProb: 0.01}
+	var _ Clock = &VirtualClock{StepMicros: 1}
+}

@@ -16,6 +16,10 @@
 //	-long     long-lived service jobs (cooperative mixed workload)
 //	-hetero   carve unequal VM sizes (exercises Eq. 22)
 //	-timeline write a per-slot CSV timeline to this file
+//	-faults   per-VM per-slot crash probability (0 = fault-free)
+//	-mttr     mean VM repair time in slots (with -faults)
+//	-surge    per-VM per-slot resident demand-surge probability
+//	-det      deterministic virtual clock for the overhead metric
 //
 // Example:
 //
@@ -30,6 +34,7 @@ import (
 	"strings"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/resource"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
@@ -56,6 +61,10 @@ func run(args []string, out *os.File) error {
 	longJobs := fs.Int("long", 0, "long-lived service jobs (cooperative mixed workload)")
 	hetero := fs.Bool("hetero", false, "carve unequal VM sizes (exercises Eq. 22)")
 	timeline := fs.String("timeline", "", "write a per-slot CSV timeline to this file")
+	faultRate := fs.Float64("faults", 0, "per-VM per-slot crash probability (0 = fault-free)")
+	mttr := fs.Int("mttr", 0, "mean VM repair time in slots (0 = default)")
+	surge := fs.Float64("surge", 0, "per-VM per-slot resident demand-surge probability")
+	det := fs.Bool("det", false, "deterministic virtual clock for the overhead metric")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -86,6 +95,16 @@ func run(args []string, out *os.File) error {
 	cfg.LongJobs = *longJobs
 	cfg.Heterogeneous = *hetero
 	cfg.RecordTimeline = *timeline != ""
+	cfg.Faults = faults.Config{
+		Seed:         *seed,
+		VMCrashProb:  *faultRate,
+		PMCrashProb:  *faultRate / 10,
+		MeanDowntime: *mttr,
+		SurgeProb:    *surge,
+	}
+	if *det {
+		cfg.Clock = &sim.VirtualClock{StepMicros: 150}
+	}
 
 	res, err := sim.Run(cfg)
 	if err != nil {
@@ -153,8 +172,15 @@ func printResult(out *os.File, r *sim.Result) {
 		r.PlacedOpportunistic, r.PlacedFresh, r.NeverPlaced, r.MeanResponseSlots, r.ResponseP50, r.ResponseP95)
 	fmt.Fprintf(out, "fairness    Jain index %.3f over short-job service rates\n", r.Fairness)
 	if r.LongPlaced+r.LongUnplaced > 0 {
-		fmt.Fprintf(out, "long jobs   placed %d, unplaced %d, finished %d\n",
-			r.LongPlaced, r.LongUnplaced, r.LongFinished)
+		fmt.Fprintf(out, "long jobs   placed %d, unplaced %d, finished %d, failed %d\n",
+			r.LongPlaced, r.LongUnplaced, r.LongFinished, r.LongFailed)
+	}
+	if rec := r.Recovery; rec.VMCrashes+rec.PMCrashes+rec.SurgeSlots+rec.Delays > 0 {
+		fmt.Fprintf(out, "faults      %d VM crashes (%d PM), %d recoveries, %d surge slots, %d delays\n",
+			rec.VMCrashes, rec.PMCrashes, rec.VMRecoveries, rec.SurgeSlots, rec.Delays)
+		fmt.Fprintf(out, "recovery    %d evictions, %d retries (%d exhausted), %d replaced (mean %.1f slots), violations failure/starvation %d/%d\n",
+			rec.Evictions, rec.Retries, rec.RetriesExhausted, rec.Replaced,
+			rec.MeanTimeToReplace(), rec.ViolationsFailure, rec.ViolationsStarvation)
 	}
 	fmt.Fprintf(out, "overhead    %.1f ms (compute %.1f ms + comm %.1f ms over %d ops)\n",
 		r.Overhead.TotalMillis(), r.Overhead.ComputeMicros/1000,

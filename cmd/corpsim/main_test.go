@@ -92,3 +92,47 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Error("bad profile accepted")
 	}
 }
+
+func TestRunWithFaults(t *testing.T) {
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "out.txt")
+	out, err := os.Create(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{
+		"-scheme", "RCCR", "-jobs", "40", "-pms", "4", "-vms", "16",
+		"-seed", "3", "-faults", "0.01", "-mttr", "8", "-surge", "0.02", "-det",
+	}, out)
+	out.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"faults", "VM crashes", "recovery", "evictions", "retries"} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("fault run output missing %q:\n%s", want, text)
+		}
+	}
+	// Fault-free runs stay clean: no fault lines in the report.
+	outPath2 := filepath.Join(dir, "clean.txt")
+	out2, err := os.Create(outPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-scheme", "RCCR", "-jobs", "40", "-pms", "4", "-vms", "16", "-seed", "3"}, out2)
+	out2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := os.ReadFile(outPath2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(clean), "VM crashes") {
+		t.Errorf("fault-free run printed fault lines:\n%s", clean)
+	}
+}

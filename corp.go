@@ -28,6 +28,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/job"
 	"repro/internal/resource"
 	"repro/internal/scheduler"
@@ -65,6 +66,14 @@ type (
 	Vector = resource.Vector
 	// WorkloadConfig parameterizes synthetic short-job generation.
 	WorkloadConfig = trace.Config
+	// FaultConfig parameterizes the simulator's deterministic
+	// fault-injection layer (SimConfig.Faults).
+	FaultConfig = faults.Config
+	// Clock abstracts the overhead timer; SimConfig.Clock accepts a
+	// VirtualClock for deterministic overhead measurements.
+	Clock = sim.Clock
+	// VirtualClock is the deterministic Clock implementation.
+	VirtualClock = sim.VirtualClock
 )
 
 // The four evaluated schemes, in the paper's comparison order.
@@ -148,6 +157,7 @@ func figureRunners() map[string]func(Options) (*Figure, error) {
 		"ext-packk":      experiments.ExtensionPackK,
 		"ext-mixed":      experiments.ExtensionMixedWorkload,
 		"ext-oracle":     experiments.ExtensionOracleGap,
+		"ext-faults":     experiments.ExtensionFaultTolerance,
 	}
 }
 
@@ -157,6 +167,7 @@ func FigureIDs() []string {
 		"tableII", "fig06", "fig07", "fig08", "fig09", "fig10",
 		"fig11", "fig12", "fig13", "fig14", "ablations",
 		"ext-strategies", "ext-packk", "ext-mixed", "ext-oracle",
+		"ext-faults",
 	}
 }
 

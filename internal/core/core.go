@@ -21,6 +21,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/job"
@@ -62,6 +63,7 @@ type Controller struct {
 	window     int
 	oppInUse   []resource.Vector
 	freshInUse []resource.Vector
+	down       []bool
 	active     map[job.ID]Grant
 	specs      map[job.ID]*job.Job
 	grantSlot  map[job.ID]int
@@ -91,6 +93,7 @@ func NewController(cl *cluster.Cluster, cfg Config) (*Controller, error) {
 		window:     sched.Window(),
 		oppInUse:   make([]resource.Vector, len(cl.VMs)),
 		freshInUse: make([]resource.Vector, len(cl.VMs)),
+		down:       make([]bool, len(cl.VMs)),
 		active:     make(map[job.ID]Grant),
 		specs:      make(map[job.ID]*job.Job),
 		grantSlot:  make(map[job.ID]int),
@@ -116,6 +119,11 @@ func (c *Controller) ObserveSlot(unused []resource.Vector) ([]Grant, error) {
 	for v, u := range unused {
 		if !u.NonNegative() {
 			return nil, fmt.Errorf("core: negative unused %v on VM %d", u, v)
+		}
+		if c.down[v] {
+			// A failed VM produces no telemetry; its predictor state stays
+			// frozen until recovery.
+			continue
 		}
 		c.sched.Observe(v, u)
 	}
@@ -203,6 +211,10 @@ func (c *Controller) Active() int { return len(c.active) }
 func (c *Controller) place() ([]Grant, error) {
 	views := make([]scheduler.VMView, len(c.cl.VMs))
 	for v, vm := range c.cl.VMs {
+		if c.down[v] {
+			views[v] = scheduler.VMView{Down: true}
+			continue
+		}
 		views[v] = scheduler.VMView{
 			FreshAvailable: vm.Capacity.Sub(vm.Reserved()).Sub(c.freshInUse[v]).ClampNonNegative(),
 			OppInUse:       c.oppInUse[v],
@@ -275,6 +287,54 @@ func (c *Controller) Cancel(id job.ID) error {
 	delete(c.pendingIDs, id)
 	return nil
 }
+
+// VMDown marks VM v failed: it stops receiving telemetry and placements,
+// and every live grant on it is revoked with its job requeued for
+// placement elsewhere. The requeued job IDs are returned in ascending
+// order so callers can restart the work deterministically.
+func (c *Controller) VMDown(v int) ([]job.ID, error) {
+	if v < 0 || v >= len(c.cl.VMs) {
+		return nil, fmt.Errorf("core: no VM %d", v)
+	}
+	if c.down[v] {
+		return nil, nil
+	}
+	c.down[v] = true
+	var lost []job.ID
+	for id, g := range c.active {
+		if g.VM == v {
+			lost = append(lost, id)
+		}
+	}
+	sort.Slice(lost, func(a, b int) bool { return lost[a] < lost[b] })
+	for _, id := range lost {
+		spec := c.specs[id]
+		delete(c.active, id)
+		delete(c.specs, id)
+		delete(c.grantSlot, id)
+		if spec != nil {
+			c.pending = append(c.pending, spec)
+			c.pendingIDs[id] = true
+		}
+	}
+	// Whatever the dead VM owed is gone with it.
+	c.oppInUse[v] = resource.Vector{}
+	c.freshInUse[v] = resource.Vector{}
+	return lost, nil
+}
+
+// VMUp marks VM v recovered; it re-enters telemetry and placement on the
+// next ObserveSlot.
+func (c *Controller) VMUp(v int) error {
+	if v < 0 || v >= len(c.cl.VMs) {
+		return fmt.Errorf("core: no VM %d", v)
+	}
+	c.down[v] = false
+	return nil
+}
+
+// VMIsDown reports whether VM v is currently marked failed.
+func (c *Controller) VMIsDown(v int) bool { return c.down[v] }
 
 // DrainOutcomes exposes matured prediction errors for monitoring.
 func (c *Controller) DrainOutcomes() []predict.ErrorSample {

@@ -228,6 +228,75 @@ func TestOpportunisticGrantsArriveWhenUnlocked(t *testing.T) {
 	}
 }
 
+func TestVMDownEvictsAndRequeues(t *testing.T) {
+	cl := testCluster(t)
+	c := newController(t, cl)
+	warm(t, c, cl, 80)
+	jobs := []*job.Job{mkJob(1, 0.8, 1, 5), mkJob(2, 0.1, 4, 5)}
+	if err := c.Submit(jobs); err != nil {
+		t.Fatal(err)
+	}
+	grants := warm(t, c, cl, 6)
+	if len(grants) != 2 {
+		t.Fatalf("got %d grants", len(grants))
+	}
+	victim := grants[0].VM
+	var want []job.ID
+	for _, g := range grants {
+		if g.VM == victim {
+			want = append(want, g.Job)
+		}
+	}
+	lost, err := c.VMDown(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lost) != len(want) {
+		t.Fatalf("VMDown evicted %v, want %d jobs", lost, len(want))
+	}
+	for i := 1; i < len(lost); i++ {
+		if lost[i-1] >= lost[i] {
+			t.Errorf("evicted IDs not ascending: %v", lost)
+		}
+	}
+	if !c.VMIsDown(victim) {
+		t.Error("VMIsDown false after VMDown")
+	}
+	if !c.OppInUse(victim).IsZero() || !c.FreshInUse(victim).IsZero() {
+		t.Error("dead VM's ledgers not cleared")
+	}
+	if c.Pending() != len(lost) {
+		t.Errorf("Pending = %d, want %d requeued jobs", c.Pending(), len(lost))
+	}
+	// Idempotent: a second VMDown is a no-op.
+	if again, err := c.VMDown(victim); err != nil || again != nil {
+		t.Errorf("second VMDown = %v, %v", again, err)
+	}
+	// Requeued jobs place again, and never on the dead VM.
+	regrants := warm(t, c, cl, 12)
+	for _, g := range regrants {
+		if g.VM == victim {
+			t.Errorf("job %d placed on down VM %d", g.Job, victim)
+		}
+	}
+	if c.Pending() != 0 {
+		t.Errorf("Pending = %d after replacement rounds", c.Pending())
+	}
+	// Recovery re-admits the VM.
+	if err := c.VMUp(victim); err != nil {
+		t.Fatal(err)
+	}
+	if c.VMIsDown(victim) {
+		t.Error("VMIsDown true after VMUp")
+	}
+	if _, err := c.VMDown(99); err == nil {
+		t.Error("VMDown out of range should fail")
+	}
+	if err := c.VMUp(-1); err == nil {
+		t.Error("VMUp out of range should fail")
+	}
+}
+
 func TestGrantsSnapshotAndAdjustment(t *testing.T) {
 	cl := testCluster(t)
 	c := newController(t, cl)

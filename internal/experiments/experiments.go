@@ -63,12 +63,41 @@ func (o Options) clusterSize() (pms, vms int) {
 }
 
 // seeds returns the replication seeds for averaged experiments (the SLO
-// figures count rare events, so single runs are noisy).
+// figures count rare events, so single runs are noisy). Seeds are derived
+// with a splitmix64 finalizer per replication stream: the old additive
+// scheme (Seed, Seed+101, Seed+202) silently reused workloads whenever a
+// caller swept base seeds 101 apart.
 func (o Options) seeds() []int64 {
+	n := 3
 	if o.Quick {
-		return []int64{o.Seed, o.Seed + 101}
+		n = 2
 	}
-	return []int64{o.Seed, o.Seed + 101, o.Seed + 202}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = deriveSeed(o.Seed, i)
+	}
+	return out
+}
+
+// deriveSeed maps (base seed, replication stream) onto a well-mixed
+// non-negative seed. splitmix64 is a bijection on uint64, so distinct
+// (base, stream) pairs collide only if splitmix64(b1)+s1 == splitmix64(b2)+s2
+// — vanishingly unlikely for the small stream indices used here, and
+// impossible for equal bases.
+func deriveSeed(base int64, stream int) int64 {
+	v := splitmix64(splitmix64(uint64(base)) + uint64(stream))
+	return int64(v &^ (1 << 63))
+}
+
+// splitmix64 is the finalizer of Steele et al.'s SplitMix64 generator.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 // hotConfig is the contended variant used by the SLO figures (8/9/12/13):

@@ -225,7 +225,8 @@ func Fig09SLOVsConfidence(o Options) (*Figure, error) {
 	}
 	// SLO violations are rare events; use an extra replication beyond
 	// the default seed set.
-	seeds := append(o.seeds(), o.Seed+303)
+	seeds := o.seeds()
+	seeds = append(seeds, deriveSeed(o.Seed, len(seeds)))
 	for _, eta := range confidenceLevels(o.Quick) {
 		eta := eta
 		var cfgs []sim.Config

@@ -176,11 +176,35 @@ type Runtime struct {
 	// Entity groups jobs packed together (Section III-B); jobs in the
 	// same entity share a VM. Zero means unpacked.
 	Entity int
+
+	// Evictions counts how many times a VM failure killed this job
+	// mid-run; Retries counts the re-queues scheduled afterwards.
+	Evictions int
+	Retries   int
+
+	// EvictedAt is the slot of the last eviction while the job awaits
+	// re-placement, or -1. The simulator uses it for the
+	// time-to-replace recovery metric.
+	EvictedAt int
 }
 
 // NewRuntime returns a fresh runtime for the spec, unplaced and unstarted.
 func NewRuntime(spec *Job) *Runtime {
-	return &Runtime{Spec: spec, VM: -1, Started: -1, Finished: -1}
+	return &Runtime{Spec: spec, VM: -1, Started: -1, Finished: -1, EvictedAt: -1}
+}
+
+// Evict resets the runtime after its hosting VM failed at the given slot:
+// the placement and all progress are lost, and the job must be re-placed
+// and re-run from the start. The lost time still counts against the job's
+// response-time SLO, which is how failures become SLO damage.
+func (r *Runtime) Evict(slot int) {
+	r.VM = -1
+	r.Allocated = resource.Vector{}
+	r.Progress = 0
+	r.Slots = 0
+	r.Entity = 0
+	r.Evictions++
+	r.EvictedAt = slot
 }
 
 // Running reports whether the job has started and not finished.

@@ -132,6 +132,52 @@ func (s SLOStats) ViolationRate() float64 {
 	return float64(s.Violated+s.Unfinished) / float64(total)
 }
 
+// RecoveryStats aggregates fault-injection and recovery accounting for one
+// run: what failed, what was killed, and how the system healed. The zero
+// value is what a fault-free run reports.
+type RecoveryStats struct {
+	// VMCrashes and PMCrashes count failure events; VMRecoveries counts
+	// repairs that completed within the run.
+	VMCrashes    int
+	PMCrashes    int
+	VMRecoveries int
+
+	// Evictions counts short-lived jobs killed mid-run by a VM failure.
+	// Retries counts the re-queues scheduled for them; RetriesExhausted
+	// counts jobs abandoned after their retry budget ran out.
+	Evictions        int
+	Retries          int
+	RetriesExhausted int
+
+	// Replaced counts evicted jobs that were placed again; ReplaceSlots
+	// sums their eviction-to-replacement gaps (backoff plus queueing).
+	Replaced     int
+	ReplaceSlots int
+
+	// SurgeSlots counts (VM, slot) pairs spent under a resident demand
+	// surge; Delays and InjectedDelayMicros tally transient
+	// scheduler/RPC stalls charged to the overhead metric.
+	Delays              int
+	InjectedDelayMicros float64
+	SurgeSlots          int
+
+	// SLO violation attribution: ViolationsFailure counts violated or
+	// unfinished jobs that were evicted at least once (failure damage);
+	// ViolationsStarvation counts the rest (opportunistic starvation,
+	// the paper's fault-free mechanism).
+	ViolationsFailure    int
+	ViolationsStarvation int
+}
+
+// MeanTimeToReplace returns the average slots from eviction to
+// re-placement over replaced jobs (0 when none were replaced).
+func (r RecoveryStats) MeanTimeToReplace() float64 {
+	if r.Replaced == 0 {
+		return 0
+	}
+	return float64(r.ReplaceSlots) / float64(r.Replaced)
+}
+
 // Series is a labeled (x, y) series, the unit every figure harness emits.
 type Series struct {
 	Label string

@@ -303,3 +303,19 @@ func TestQuickJainBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestRecoveryStatsMeanTimeToReplace(t *testing.T) {
+	var r RecoveryStats
+	if r.MeanTimeToReplace() != 0 {
+		t.Error("zero replacements should report 0, not NaN")
+	}
+	r.Replaced = 4
+	r.ReplaceSlots = 10
+	if got := r.MeanTimeToReplace(); got != 2.5 {
+		t.Errorf("MeanTimeToReplace = %v, want 2.5", got)
+	}
+	// The zero value is the fault-free report.
+	if (RecoveryStats{}) != *new(RecoveryStats) {
+		t.Error("RecoveryStats must stay comparable")
+	}
+}

@@ -125,6 +125,10 @@ type VMView struct {
 	// OppInUse is the sum of opportunistic allocations currently riding
 	// on this VM's predicted-unused pool.
 	OppInUse resource.Vector
+	// Down marks a failed VM: it drops out of every scheme's candidate
+	// set until recovery re-offers it with Down cleared (graceful
+	// degradation under fault injection).
+	Down bool
 }
 
 // Placement is one placement decision.
@@ -425,7 +429,7 @@ func (s *corpScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 		}
 		var oppCands []packing.Candidate
 		for i := range views {
-			if s.latest[i].Unlocked {
+			if !views[i].Down && s.latest[i].Unlocked {
 				oppCands = append(oppCands, packing.Candidate{VM: i, Available: opp[i]})
 			}
 		}
@@ -434,9 +438,12 @@ func (s *corpScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 			placements = append(placements, Placement{Jobs: e.Jobs, Allocs: allocs, VM: vm, Opportunistic: true})
 			continue
 		}
-		freshCands := make([]packing.Candidate, len(views))
+		freshCands := make([]packing.Candidate, 0, len(views))
 		for i := range views {
-			freshCands[i] = packing.Candidate{VM: i, Available: fresh[i]}
+			if views[i].Down {
+				continue
+			}
+			freshCands = append(freshCands, packing.Candidate{VM: i, Available: fresh[i]})
 		}
 		if vm, ok := s.strategy.Choose(need, freshCands, s.maxCap); ok {
 			fresh[vm] = fresh[vm].Sub(need).ClampNonNegative()
@@ -469,14 +476,14 @@ func (s *randomScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 	var placements []Placement
 	for _, j := range jobs {
 		alloc := padStorage(j.PeakDemand()).Scale(s.allocFactor * s.tight)
-		if vm, ok := s.randomFit(alloc, opp); ok {
+		if vm, ok := s.randomFit(alloc, opp, views); ok {
 			opp[vm] = opp[vm].Sub(alloc).ClampNonNegative()
 			placements = append(placements, Placement{
 				Jobs: []*job.Job{j}, Allocs: []resource.Vector{alloc}, VM: vm, Opportunistic: true,
 			})
 			continue
 		}
-		if vm, ok := s.randomFit(alloc, fresh); ok {
+		if vm, ok := s.randomFit(alloc, fresh, views); ok {
 			fresh[vm] = fresh[vm].Sub(alloc).ClampNonNegative()
 			placements = append(placements, Placement{
 				Jobs: []*job.Job{j}, Allocs: []resource.Vector{alloc}, VM: vm,
@@ -486,10 +493,14 @@ func (s *randomScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 	return placements
 }
 
-// randomFit returns a uniformly random index whose pool satisfies demand.
-func (s *randomScheduler) randomFit(demand resource.Vector, pools []resource.Vector) (int, bool) {
+// randomFit returns a uniformly random up-VM index whose pool satisfies
+// demand.
+func (s *randomScheduler) randomFit(demand resource.Vector, pools []resource.Vector, views []VMView) (int, bool) {
 	var fits []int
 	for i, p := range pools {
+		if views[i].Down {
+			continue
+		}
 		if demand.FitsIn(p) {
 			fits = append(fits, i)
 		}
@@ -529,7 +540,7 @@ func (s *draScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 	var placements []Placement
 	for _, j := range jobs {
 		alloc := padStorage(j.PeakDemand()).Scale(s.bulk * s.tight)
-		vm, ok := s.shareWeightedFit(alloc, fresh)
+		vm, ok := s.shareWeightedFit(alloc, fresh, views)
 		if !ok {
 			continue
 		}
@@ -541,12 +552,12 @@ func (s *draScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 	return placements
 }
 
-// shareWeightedFit picks a feasible VM with probability proportional to
+// shareWeightedFit picks a feasible up VM with probability proportional to
 // its share.
-func (s *draScheduler) shareWeightedFit(demand resource.Vector, pools []resource.Vector) (int, bool) {
+func (s *draScheduler) shareWeightedFit(demand resource.Vector, pools []resource.Vector, views []VMView) (int, bool) {
 	total := 0
 	for i, p := range pools {
-		if demand.FitsIn(p) {
+		if !views[i].Down && demand.FitsIn(p) {
 			total += s.shares[i]
 		}
 	}
@@ -555,7 +566,7 @@ func (s *draScheduler) shareWeightedFit(demand resource.Vector, pools []resource
 	}
 	pick := s.rng.Intn(total)
 	for i, p := range pools {
-		if !demand.FitsIn(p) {
+		if views[i].Down || !demand.FitsIn(p) {
 			continue
 		}
 		pick -= s.shares[i]

@@ -270,6 +270,50 @@ func TestPlaceRespectsFreshHeadroom(t *testing.T) {
 	}
 }
 
+func TestPlaceSkipsDownVMs(t *testing.T) {
+	// Every scheme must treat a Down view as nonexistent: no placements
+	// when all VMs are down, placement resumes when they recover.
+	for _, sc := range Schemes() {
+		sc := sc
+		t.Run(sc.String(), func(t *testing.T) {
+			cl := testCluster(t)
+			s, err := New(Config{Scheme: sc, Seed: 1,
+				Corp: predict.CorpConfig{Pth: 0.01, Epsilon: 0.9}}, cl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			feedAndRefresh(s, cl, resource.New(2, 8, 90), 80)
+			jobs := []*job.Job{mkJob(0, 0.5, 0.5, 1)}
+			down := make([]VMView, len(cl.VMs))
+			for i := range down {
+				down[i] = VMView{Down: true}
+			}
+			if placements := s.Place(jobs, down); len(placements) != 0 {
+				t.Fatalf("placed %d entities on a fully-down cluster", len(placements))
+			}
+			// Only VM 1 survives: every placement must land there.
+			oneUp := make([]VMView, len(cl.VMs))
+			for i := range oneUp {
+				oneUp[i] = VMView{Down: true}
+			}
+			oneUp[1] = VMView{FreshAvailable: cl.VMs[1].Capacity}
+			placements := s.Place(jobs, oneUp)
+			if len(placements) == 0 {
+				t.Fatal("no placement despite one healthy VM")
+			}
+			for _, p := range placements {
+				if p.VM != 1 {
+					t.Errorf("placed on down VM %d", p.VM)
+				}
+			}
+			// Full recovery restores normal placement.
+			if placements := s.Place([]*job.Job{mkJob(1, 0.5, 0.5, 1)}, openViews(cl)); len(placements) == 0 {
+				t.Error("no placement after recovery")
+			}
+		})
+	}
+}
+
 func TestDrainOutcomesAggregatesVMs(t *testing.T) {
 	cl := testCluster(t)
 	s, err := New(Config{Scheme: RCCR, Seed: 1}, cl)

@@ -1,0 +1,47 @@
+package sim
+
+import "time"
+
+// Clock abstracts the timer behind the scheduling-overhead metric
+// (Figs. 10/14). Run brackets each scheduler decision with two Now calls
+// and charges the difference to Result.Overhead. The default wall clock
+// measures real decision time, which varies run-to-run and
+// machine-to-machine; deterministic runs (regression tests, the ext-faults
+// figure) inject a VirtualClock instead so identically-seeded runs report
+// identical overhead.
+type Clock interface {
+	// Now returns elapsed microseconds since an arbitrary epoch.
+	Now() float64
+}
+
+// NewWallClock returns the real-time clock used when Config.Clock is nil.
+func NewWallClock() Clock { return &wallClock{base: time.Now()} }
+
+type wallClock struct{ base time.Time }
+
+func (c *wallClock) Now() float64 {
+	return float64(time.Since(c.base).Nanoseconds()) / 1e3
+}
+
+// VirtualClock is a deterministic Clock: every reading advances it by
+// StepMicros, so each measured interval costs exactly one step regardless
+// of real elapsed time. It models scheduler decisions as fixed-cost
+// operations, trading fidelity for reproducibility.
+//
+// A VirtualClock must not be shared between concurrent runs; give each
+// Config its own instance.
+type VirtualClock struct {
+	// StepMicros is the advance per reading; values ≤ 0 are treated as 1.
+	StepMicros float64
+	now        float64
+}
+
+// Now advances the clock one step and returns the new reading.
+func (c *VirtualClock) Now() float64 {
+	step := c.StepMicros
+	if step <= 0 {
+		step = 1
+	}
+	c.now += step
+	return c.now
+}

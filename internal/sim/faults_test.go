@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/scheduler"
+)
+
+// faulty returns a small config with an aggressive fault profile and a
+// deterministic clock, so every recovery counter sees traffic.
+func faulty(sc scheduler.Scheme, seed int64) Config {
+	cfg := small(sc, seed)
+	cfg.Faults = faults.Config{
+		Seed:         seed,
+		VMCrashProb:  0.01,
+		PMCrashProb:  0.002,
+		MeanDowntime: 10,
+		SurgeProb:    0.02,
+		DelayProb:    0.05,
+	}
+	cfg.Clock = &VirtualClock{StepMicros: 100}
+	return cfg
+}
+
+// TestFaultInjectionEvictsRequeuesRetries is the acceptance test for the
+// fault layer: a VM crash mid-run must kill the jobs there, requeue them
+// with backoff, and account every step in the recovery metrics.
+func TestFaultInjectionEvictsRequeuesRetries(t *testing.T) {
+	r, err := Run(faulty(scheduler.RCCR, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := r.Recovery
+	if rec.VMCrashes == 0 {
+		t.Fatal("no VM crashes despite 1% per-slot rate over 300 slots × 40 VMs")
+	}
+	if rec.VMRecoveries == 0 {
+		t.Error("no recoveries despite mean downtime 10 slots")
+	}
+	if rec.Evictions == 0 {
+		t.Fatal("crashes never caught a running job; eviction path untested")
+	}
+	// Every eviction either retries or exhausts the budget — no job
+	// silently vanishes.
+	if rec.Retries+rec.RetriesExhausted != rec.Evictions {
+		t.Errorf("eviction accounting: %d retries + %d exhausted != %d evictions",
+			rec.Retries, rec.RetriesExhausted, rec.Evictions)
+	}
+	if rec.Retries == 0 {
+		t.Error("no evicted job was requeued")
+	}
+	// Replacements are retried jobs that landed again; backoff means a
+	// replacement takes at least RetryBackoff slots.
+	if rec.Replaced == 0 {
+		t.Error("no evicted job was ever re-placed")
+	}
+	if rec.Replaced > rec.Retries {
+		t.Errorf("%d replacements exceed %d retries", rec.Replaced, rec.Retries)
+	}
+	if rec.ReplaceSlots < rec.Replaced*2 {
+		t.Errorf("time-to-replace %d slots below the backoff floor for %d replacements",
+			rec.ReplaceSlots, rec.Replaced)
+	}
+	if m := rec.MeanTimeToReplace(); m < 2 {
+		t.Errorf("MeanTimeToReplace = %v, want >= backoff base 2", m)
+	}
+	// Every violated or unfinished job is attributed to exactly one
+	// damage mechanism.
+	if rec.ViolationsFailure+rec.ViolationsStarvation != r.SLO.Violated+r.SLO.Unfinished {
+		t.Errorf("attribution: failure %d + starvation %d != violated %d + unfinished %d",
+			rec.ViolationsFailure, rec.ViolationsStarvation, r.SLO.Violated, r.SLO.Unfinished)
+	}
+	if rec.SurgeSlots == 0 {
+		t.Error("no surge slots recorded despite 2% surge rate")
+	}
+	if rec.Delays == 0 || rec.InjectedDelayMicros <= 0 {
+		t.Errorf("delay accounting empty: %d delays, %v µs", rec.Delays, rec.InjectedDelayMicros)
+	}
+	// Injected stalls are charged to the run's overhead.
+	if r.Overhead.CommMicros < rec.InjectedDelayMicros {
+		t.Errorf("comm overhead %v µs below injected %v µs",
+			r.Overhead.CommMicros, rec.InjectedDelayMicros)
+	}
+}
+
+// TestFaultRunsDeterministic: with the virtual clock, a fault run is
+// bit-for-bit reproducible — every metric including overhead.
+func TestFaultRunsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full CORP runs")
+	}
+	a, err := Run(faulty(scheduler.CORP, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(faulty(scheduler.CORP, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("same-seed fault runs diverge:\n%+v\nvs\n%+v", a, b)
+	}
+}
+
+// TestFaultFreeEquivalence: a zero fault config (and a rate-0 profile)
+// must reproduce the plain fault-free run exactly, recovery metrics all
+// zero.
+func TestFaultFreeEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full CORP runs")
+	}
+	plain := small(scheduler.CORP, 23)
+	plain.Clock = &VirtualClock{StepMicros: 100}
+	a, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rate 0 but a fault seed set: Enabled() is false, so the injector
+	// never exists and no RNG draw can perturb the run.
+	zeroRate := small(scheduler.CORP, 23)
+	zeroRate.Clock = &VirtualClock{StepMicros: 100}
+	zeroRate.Faults = faults.Config{Seed: 999, MeanDowntime: 5, MaxRetries: 7}
+	b, err := Run(zeroRate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("rate-0 fault run diverges from fault-free:\n%+v\nvs\n%+v", a, b)
+	}
+	if a.Recovery != (metrics.RecoveryStats{}) {
+		t.Errorf("fault-free recovery stats not zero: %+v", a.Recovery)
+	}
+}
+
+// TestOverheadDeterministicWithVirtualClock is the regression test for
+// the wall-clock overhead bug: two identically-seeded runs must report
+// identical overhead when a deterministic clock is injected.
+func TestOverheadDeterministicWithVirtualClock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full CORP runs")
+	}
+	run := func() *Result {
+		cfg := small(scheduler.CORP, 24)
+		cfg.Clock = &VirtualClock{StepMicros: 100}
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.Overhead != b.Overhead {
+		t.Errorf("virtual-clock overhead diverges: %+v vs %+v", a.Overhead, b.Overhead)
+	}
+	if a.Overhead.TotalMicros() <= 0 {
+		t.Error("virtual clock produced no overhead at all")
+	}
+}
+
+// TestFaultsDegradeService: injecting failures must not improve the SLO,
+// and the run must still finish jobs.
+func TestFaultsDegradeService(t *testing.T) {
+	clean, err := Run(small(scheduler.RCCR, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty, err := Run(faulty(scheduler.RCCR, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dirty.SLORate < clean.SLORate {
+		t.Errorf("faults improved SLO: %.3f < %.3f", dirty.SLORate, clean.SLORate)
+	}
+	if dirty.SLO.Finished == 0 {
+		t.Error("no jobs finished under faults; recovery path is not recovering")
+	}
+}
+
+// TestVirtualClockAdvances pins the VirtualClock contract: each reading
+// advances by StepMicros (default 1).
+func TestVirtualClockAdvances(t *testing.T) {
+	c := &VirtualClock{StepMicros: 5}
+	if c.Now() != 5 || c.Now() != 10 {
+		t.Error("VirtualClock must advance StepMicros per reading")
+	}
+	d := &VirtualClock{}
+	if d.Now() != 1 || d.Now() != 2 {
+		t.Error("zero StepMicros must default to 1")
+	}
+	w := NewWallClock()
+	if w.Now() < 0 {
+		t.Error("wall clock went backwards")
+	}
+}

@@ -1,7 +1,10 @@
 package sim
 
 import (
+	"errors"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -11,10 +14,17 @@ import (
 // parallelize perfectly; the experiment sweeps use this to regenerate
 // figures on all cores.
 //
-// Workers ≤ 0 defaults to GOMAXPROCS. The first error encountered is
-// returned (with the remaining runs still completing); results[i] is nil
-// for the failed run.
+// Workers ≤ 0 defaults to GOMAXPROCS. A run that fails — including one
+// that panics; panics are recovered per run so a single bad configuration
+// cannot take down a whole sweep — leaves results[i] nil, with the
+// remaining runs still completing. The returned error joins every per-run
+// failure (errors.Join), so callers see all of them, not just the first.
 func RunMany(cfgs []Config, workers int) ([]*Result, error) {
+	return runMany(cfgs, workers, Run)
+}
+
+// runMany is RunMany with the per-run function injected for testing.
+func runMany(cfgs []Config, workers int, run func(Config) (*Result, error)) ([]*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -33,7 +43,7 @@ func RunMany(cfgs []Config, workers int) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = Run(cfgs[i])
+				results[i], errs[i] = runSafe(run, cfgs[i], i)
 			}
 		}()
 	}
@@ -42,10 +52,15 @@ func RunMany(cfgs []Config, workers int) ([]*Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return results, err
+	return results, errors.Join(errs...)
+}
+
+// runSafe converts a panicking run into an error on the run's own slot.
+func runSafe(run func(Config) (*Result, error), cfg Config, i int) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("sim: run %d panicked: %v\n%s", i, r, debug.Stack())
 		}
-	}
-	return results, nil
+	}()
+	return run(cfg)
 }

@@ -1,0 +1,117 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/scheduler"
+)
+
+// TestRunManyRecoversPanics is the regression test for the sweep-path
+// crash bug: a panicking run must land in its own error slot instead of
+// taking the whole process (and every sibling run) down.
+func TestRunManyRecoversPanics(t *testing.T) {
+	cfgs := make([]Config, 4)
+	for i := range cfgs {
+		cfgs[i] = small(scheduler.RCCR, int64(i))
+	}
+	boom := func(cfg Config) (*Result, error) {
+		if cfg.Seed == 2 {
+			panic("kaboom")
+		}
+		return &Result{Scheme: fmt.Sprint(cfg.Seed)}, nil
+	}
+	results, err := runMany(cfgs, 2, boom)
+	if err == nil {
+		t.Fatal("panicking run must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "run 2 panicked") || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("error does not identify the panic: %v", err)
+	}
+	// The stack trace is attached so the panic is debuggable.
+	if !strings.Contains(err.Error(), "goroutine") {
+		t.Errorf("error lacks a stack trace: %.120s", err.Error())
+	}
+	for i, r := range results {
+		if i == 2 {
+			if r != nil {
+				t.Error("panicked run should have a nil result")
+			}
+			continue
+		}
+		if r == nil || r.Scheme != fmt.Sprint(i) {
+			t.Errorf("sibling run %d lost: %+v", i, r)
+		}
+	}
+}
+
+// TestRunManyJoinsAllErrors: every failing run contributes to the joined
+// error, not just the first.
+func TestRunManyJoinsAllErrors(t *testing.T) {
+	cfgs := make([]Config, 3)
+	for i := range cfgs {
+		cfgs[i] = small(scheduler.RCCR, int64(i))
+	}
+	sentinel := errors.New("sentinel")
+	results, err := runMany(cfgs, 3, func(cfg Config) (*Result, error) {
+		if cfg.Seed == 1 {
+			return &Result{}, nil
+		}
+		return nil, fmt.Errorf("run for seed %d: %w", cfg.Seed, sentinel)
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("joined error lost the cause chain: %v", err)
+	}
+	for _, want := range []string{"seed 0", "seed 2"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error missing %q: %v", want, err)
+		}
+	}
+	if results[1] == nil {
+		t.Error("successful run dropped amid failures")
+	}
+}
+
+// TestRunManyConcurrencyRace hammers the worker pool with many tiny runs
+// so `go test -race` can catch unsynchronized writes to the shared
+// results/errs slices.
+func TestRunManyConcurrencyRace(t *testing.T) {
+	const n = 128
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfgs[i] = small(scheduler.RCCR, int64(i))
+	}
+	results, err := runMany(cfgs, 16, func(cfg Config) (*Result, error) {
+		if cfg.Seed%5 == 0 {
+			return nil, fmt.Errorf("seed %d failed", cfg.Seed)
+		}
+		return &Result{NumJobs: int(cfg.Seed)}, nil
+	})
+	if err == nil {
+		t.Fatal("expected joined failures")
+	}
+	for i, r := range results {
+		if i%5 == 0 {
+			if r != nil {
+				t.Errorf("run %d should have failed", i)
+			}
+		} else if r == nil || r.NumJobs != i {
+			t.Errorf("run %d result misplaced: %+v", i, r)
+		}
+	}
+}
+
+// TestRunManyWorkerDefaults: non-positive worker counts fall back sanely.
+func TestRunManyWorkerDefaults(t *testing.T) {
+	cfgs := []Config{small(scheduler.RCCR, 1)}
+	for _, workers := range []int{-1, 0, 99} {
+		results, err := runMany(cfgs, workers, func(Config) (*Result, error) {
+			return &Result{}, nil
+		})
+		if err != nil || len(results) != 1 || results[0] == nil {
+			t.Errorf("workers=%d: (%v, %v)", workers, results, err)
+		}
+	}
+}

@@ -13,9 +13,9 @@ package sim
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/faults"
 	"repro/internal/job"
 	"repro/internal/metrics"
 	"repro/internal/predict"
@@ -76,6 +76,17 @@ type Config struct {
 
 	// RecordTimeline captures a per-slot snapshot into Result.Timeline.
 	RecordTimeline bool
+
+	// Faults configures the deterministic fault-injection layer: VM/PM
+	// crash-and-recover events, resident demand surges, and transient
+	// scheduler delays. The zero value injects nothing and leaves the
+	// run bit-for-bit identical to a fault-free simulation.
+	Faults faults.Config
+
+	// Clock times scheduler decisions for the overhead metric. Nil uses
+	// the real wall clock; inject a *VirtualClock for deterministic
+	// overhead (regression tests, the ext-faults figure).
+	Clock Clock
 
 	// LongJobs adds long-lived service jobs to the run (the cooperative
 	// mixed-workload extension): they arrive over time, receive
@@ -168,10 +179,19 @@ type Result struct {
 	// Fairness is Jain's index over the short jobs' mean service rates.
 	Fairness float64
 
-	// Long-lived job accounting (mixed-workload runs).
+	// Long-lived job accounting (mixed-workload runs). LongFailed counts
+	// long jobs killed by VM failures (they are not retried; their
+	// reservations return to the pool).
 	LongPlaced   int
 	LongUnplaced int
 	LongFinished int
+	LongFailed   int
+
+	// Recovery aggregates the fault-injection layer's accounting:
+	// crashes, evictions, retries, time-to-replace, and the
+	// starvation-versus-failure attribution of SLO violations. All zero
+	// in fault-free runs.
+	Recovery metrics.RecoveryStats
 
 	// Timeline holds per-slot snapshots when Config.RecordTimeline is
 	// set (nil otherwise).
@@ -188,6 +208,7 @@ type vmState struct {
 	resident     *job.Job
 	running      []*job.Runtime
 	longRunning  []*job.Runtime
+	down         bool // failed by fault injection; recovers later
 }
 
 // freshHeadroom is the guaranteed capacity still unallocated on the VM.
@@ -348,6 +369,31 @@ func Run(cfg Config) (*Result, error) {
 	}
 	nextLong := 0
 
+	clk := cfg.Clock
+	if clk == nil {
+		clk = NewWallClock()
+	}
+
+	// Fault injection: a zero-valued Faults config takes the fault-free
+	// path untouched (no injector, no RNG draws, identical results).
+	var inj *faults.Injector
+	if cfg.Faults.Enabled() {
+		fcfg := cfg.Faults
+		fcfg.Seed ^= cfg.Seed
+		vmToPM := make([]int, len(cl.VMs))
+		for i, vm := range cl.VMs {
+			vmToPM[i] = vm.PM
+		}
+		inj = faults.NewInjector(fcfg, vmToPM)
+	}
+	// retryAt holds evicted jobs waiting out their backoff before
+	// re-entering the arrival queue.
+	type pendingRetry struct {
+		rt *job.Runtime
+		at int
+	}
+	var retries []pendingRetry
+
 	res := &Result{
 		Scheme:  sched.Name(),
 		Profile: cfg.Profile.String(),
@@ -361,7 +407,53 @@ func Run(cfg Config) (*Result, error) {
 	window := sched.Window()
 
 	for t := 0; t < horizon; t++ {
-		// 0. Place arriving long-lived jobs with the cooperating
+		// 0. Fault injection: complete repairs, then crash VMs/PMs and
+		// evict their jobs into the retry queue; the slot's surge factors
+		// and control-plane stalls apply below.
+		var surge []float64
+		if inj != nil {
+			ev := inj.Advance(t)
+			res.Recovery.PMCrashes += ev.PMCrashes
+			for _, v := range ev.Recovered {
+				vms[v].down = false
+				res.Recovery.VMRecoveries++
+			}
+			for _, v := range ev.Crashed {
+				st := vms[v]
+				st.down = true
+				res.Recovery.VMCrashes++
+				for _, rt := range st.running {
+					rt.Evict(t)
+					res.Recovery.Evictions++
+					if rt.Retries >= inj.Config().MaxRetries {
+						// Retry budget exhausted: the job is abandoned
+						// and will be accounted as an unfinished,
+						// failure-attributed SLO violation.
+						res.Recovery.RetriesExhausted++
+						continue
+					}
+					rt.Retries++
+					res.Recovery.Retries++
+					retries = append(retries, pendingRetry{rt, t + inj.Config().Backoff(rt.Retries)})
+				}
+				// Long-lived jobs die with the VM and are not retried;
+				// their guaranteed reservations return to the pool.
+				res.LongFailed += len(st.longRunning)
+				st.running = nil
+				st.longRunning = nil
+				st.freshInUse = resource.Vector{}
+				st.oppInUse = resource.Vector{}
+				st.longReserved = resource.Vector{}
+			}
+			if ev.DelayMicros > 0 {
+				res.Overhead.AddComm(ev.DelayMicros)
+				res.Recovery.Delays++
+				res.Recovery.InjectedDelayMicros += ev.DelayMicros
+			}
+			surge = ev.Surge
+		}
+
+		// 1. Place arriving long-lived jobs with the cooperating
 		// reservation method: largest guaranteed headroom first.
 		for nextLong < len(longRuntimes) && longRuntimes[nextLong].Spec.Arrival <= t {
 			rt := longRuntimes[nextLong]
@@ -369,6 +461,9 @@ func Run(cfg Config) (*Result, error) {
 			bestVM, bestVol := -1, -1.0
 			need := rt.Spec.Request
 			for v, st := range vms {
+				if st.down {
+					continue
+				}
 				head := st.freshHeadroom()
 				if !need.FitsIn(head) {
 					continue
@@ -390,11 +485,23 @@ func Run(cfg Config) (*Result, error) {
 			res.LongPlaced++
 		}
 
-		// 1. Observe actual unused resources (prediction target): the
-		// residents' slack plus the running long jobs' slack.
+		// 2. Observe actual unused resources (prediction target): the
+		// residents' slack (shrunk by any demand surge) plus the running
+		// long jobs' slack. Failed VMs report no telemetry and offer no
+		// pool; their predictors hold stale state until recovery.
 		unused := make([]resource.Vector, len(vms))
+		residentUse := make([]resource.Vector, len(vms))
 		for v, st := range vms {
+			if st.down {
+				continue
+			}
+			residentUse[v] = st.resident.DemandAt(t)
 			u := st.resident.UnusedAt(t)
+			if surge != nil && surge[v] > 1 {
+				residentUse[v] = residentUse[v].Scale(surge[v]).Min(st.reserved)
+				u = st.reserved.Sub(residentUse[v]).ClampNonNegative()
+				res.Recovery.SurgeSlots++
+			}
 			for _, rt := range st.longRunning {
 				u = u.Add(rt.Spec.Request.Sub(rt.Spec.DemandAt(rt.Slots)).ClampNonNegative())
 			}
@@ -402,14 +509,17 @@ func Run(cfg Config) (*Result, error) {
 			sched.Observe(v, unused[v])
 		}
 
-		// 2. Refresh forecasts once per window (timed: this is the
+		// 3. Refresh forecasts once per window (timed: this is the
 		// prediction part of the allocation path), and let adjusting
 		// schemes re-size running jobs' allocations to current demand.
 		if t%window == 0 {
-			start := time.Now()
+			start := clk.Now()
 			sched.Refresh()
 			if adj, ok := sched.(scheduler.Adjuster); ok {
 				for _, st := range vms {
+					if st.down {
+						continue
+					}
 					for _, rt := range st.running {
 						newAlloc, changed := adj.AdjustAlloc(rt.Spec, rt.Spec.DemandAt(rt.Slots))
 						if !changed {
@@ -428,7 +538,7 @@ func Run(cfg Config) (*Result, error) {
 					}
 				}
 			}
-			res.Overhead.AddCompute(float64(time.Since(start).Microseconds()))
+			res.Overhead.AddCompute(clk.Now() - start)
 			// One status RPC per VM to collect utilization reports; in a
 			// real deployment this communication dominates the control
 			// loop, with the predictor's compute as the increment on top
@@ -438,16 +548,33 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		// 3. Admit arrivals into the queue.
+		// 4. Admit arrivals into the queue, then evicted jobs whose retry
+		// backoff has elapsed.
 		for nextArrival < len(runtimes) && runtimes[nextArrival].Spec.Arrival <= t {
 			queue = append(queue, runtimes[nextArrival])
 			nextArrival++
 		}
+		if len(retries) > 0 {
+			kept := retries[:0]
+			for _, pr := range retries {
+				if pr.at <= t {
+					queue = append(queue, pr.rt)
+				} else {
+					kept = append(kept, pr)
+				}
+			}
+			retries = kept
+		}
 
-		// 4. Place queued jobs.
+		// 5. Place queued jobs. Failed VMs drop out of the scheduler's
+		// view and re-enter when they recover.
 		if len(queue) > 0 {
 			views := make([]scheduler.VMView, len(vms))
 			for v, st := range vms {
+				if st.down {
+					views[v] = scheduler.VMView{Down: true}
+					continue
+				}
 				views[v] = scheduler.VMView{
 					FreshAvailable: st.freshHeadroom(),
 					OppInUse:       st.oppInUse,
@@ -459,9 +586,9 @@ func Run(cfg Config) (*Result, error) {
 				pending[i] = rt.Spec
 				byID[rt.Spec.ID] = rt
 			}
-			start := time.Now()
+			start := clk.Now()
 			placements := sched.Place(pending, views)
-			res.Overhead.AddCompute(float64(time.Since(start).Microseconds()))
+			res.Overhead.AddCompute(clk.Now() - start)
 			placed := make(map[job.ID]bool)
 			for _, p := range placements {
 				res.Overhead.AddComm(cl.CommLatencyMicros)
@@ -487,6 +614,13 @@ func Run(cfg Config) (*Result, error) {
 					rt.Entity = boolToInt(p.Opportunistic)
 					st.running = append(st.running, rt)
 					placed[spec.ID] = true
+					if rt.EvictedAt >= 0 {
+						// An evicted job found a new home: record the
+						// eviction-to-replacement gap.
+						res.Recovery.Replaced++
+						res.Recovery.ReplaceSlots += t - rt.EvictedAt
+						rt.EvictedAt = -1
+					}
 				}
 			}
 			if len(placed) > 0 {
@@ -500,13 +634,18 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 
-		// 5. Execute one slot on every VM and update ledgers.
+		// 6. Execute one slot on every up VM and update ledgers. Failed
+		// VMs contribute nothing: their capacity, residents and pools are
+		// all offline until repair.
 		slotAllocated := resource.Vector{} // short-job allocations
 		slotDemand := resource.Vector{}    // short-job served demand
 		slotClusterAlloc := resource.Vector{}
 		slotClusterDemand := resource.Vector{}
 		for v, st := range vms {
-			resUse := st.resident.DemandAt(t)
+			if st.down {
+				continue
+			}
+			resUse := residentUse[v]
 			slotClusterAlloc = slotClusterAlloc.Add(st.reserved).Add(st.freshInUse).Add(st.longReserved)
 			slotClusterDemand = slotClusterDemand.Add(resUse)
 
@@ -576,7 +715,7 @@ func Run(cfg Config) (*Result, error) {
 				unused, vms, len(queue)))
 		}
 
-		// 6. Drain matured prediction errors; only steady-state samples
+		// 7. Drain matured prediction errors; only steady-state samples
 		// (past the warmup) count toward the Fig. 6 metric.
 		drained := sched.DrainOutcomes()
 		if t >= cfg.Warmup {
@@ -606,18 +745,34 @@ func Run(cfg Config) (*Result, error) {
 	var respSum, respN float64
 	var responses []int
 	var serviceRates []float64
+	// Attribute each violated or unfinished job to its damage mechanism:
+	// jobs evicted by a failure are failure damage, the rest starved on
+	// opportunistic pools (the paper's fault-free mechanism). Only fault
+	// runs attribute, so fault-free results stay bit-for-bit unchanged.
+	attribute := func(rt *job.Runtime) {
+		if inj == nil {
+			return
+		}
+		if rt.Evictions > 0 {
+			res.Recovery.ViolationsFailure++
+		} else {
+			res.Recovery.ViolationsStarvation++
+		}
+	}
 	for _, rt := range runtimes {
 		if rt.Done() {
 			res.SLO.Finished++
 			if rt.SLOViolated() {
 				res.SLO.Violated++
+				attribute(rt)
 			}
 			respSum += float64(rt.ResponseTime())
 			respN++
 			responses = append(responses, rt.ResponseTime())
 		} else {
 			res.SLO.Unfinished++
-			if rt.VM < 0 {
+			attribute(rt)
+			if rt.VM < 0 && rt.Evictions == 0 {
 				res.NeverPlaced++
 			}
 		}

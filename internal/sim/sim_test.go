@@ -74,6 +74,9 @@ func TestRunBasicInvariants(t *testing.T) {
 }
 
 func TestRunDeterministicMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full CORP runs")
+	}
 	// All metrics except wall-clock overhead must be identical across
 	// same-seed runs.
 	a, err := Run(small(scheduler.CORP, 7))
@@ -421,6 +424,9 @@ func TestExplicitJobsValidated(t *testing.T) {
 }
 
 func TestOracleUpperBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full runs")
+	}
 	corp, err := Run(small(scheduler.CORP, 17))
 	if err != nil {
 		t.Fatal(err)
