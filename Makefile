@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench
+.PHONY: check fmt vet build test race bench bench-figs bench-diff
 
 check: fmt vet build test race
 
@@ -28,5 +28,23 @@ test:
 race:
 	$(GO) test -race -short ./internal/sim ./internal/dnn
 
+# bench runs the hot-path benchmark suite at a fixed benchtime (stable
+# enough for snapshot comparison) and writes the BENCH_<date>.json perf
+# snapshot via corpbench -json. Commit the snapshot to extend the perf
+# trajectory.
+BENCHTIME ?= 2s
 bench:
+	$(GO) test -run XXX -bench 'TableII|CorpObserve' -benchtime $(BENCHTIME) ./internal/dnn ./internal/predict
+	$(GO) run ./cmd/corpbench -json -out BENCH_$$(date +%Y-%m-%d).json
+
+# bench-diff compares two snapshots and fails on >10% ns/op regression
+# (or any allocs/op growth) in the DNN kernels:
+#   make bench-diff OLD=BENCH_2026-08-06.json NEW=BENCH_2026-09-01.json
+bench-diff:
+	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make bench-diff OLD=old.json NEW=new.json"; exit 1; }
+	$(GO) run ./cmd/corpbench -bench-diff "$(OLD),$(NEW)"
+
+# bench-figs regenerates every figure once — the end-to-end sweep suite
+# (the old `make bench` behaviour).
+bench-figs:
 	$(GO) test -bench . -benchtime 1x ./...

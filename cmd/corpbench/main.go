@@ -1,19 +1,30 @@
 // Command corpbench regenerates the paper's tables and figures as text
-// series.
+// series, and doubles as the perf-harness front end.
 //
 // Usage:
 //
 //	corpbench [flags]
 //
-//	-fig    figure id (tableII, fig06..fig14, ablations) or "all"
-//	-seed   workload seed (default 1)
-//	-quick  small cluster and 3-point sweeps (default true)
-//	-list   print the available figure ids and exit
+//	-fig        figure id (tableII, fig06..fig14, ablations) or "all"
+//	-seed       workload seed (default 1)
+//	-quick      small cluster and 3-point sweeps (default true)
+//	-list       print the available figure ids and exit
+//	-md         render the output as a Markdown report
+//	-json       run the perf benchmark suite and write a JSON snapshot
+//	-out        snapshot path for -json (default BENCH_<date>.json)
+//	-bench-diff compare two snapshots "old.json,new.json"; non-zero exit
+//	            on >10% ns/op regression in the DNN kernels
+//	-bench-tol  fractional regression tolerance for -bench-diff (default 0.10)
+//	-cpuprofile write a pprof CPU profile of the run to the given file
+//	-memprofile write a pprof heap profile at exit to the given file
 //
 // Examples:
 //
 //	corpbench -fig fig06
 //	corpbench -fig all -quick=false     # full paper-scale run (slow)
+//	corpbench -json -out BENCH_2026-08-06.json
+//	corpbench -bench-diff BENCH_old.json,BENCH_new.json
+//	corpbench -fig fig06 -cpuprofile cpu.out
 package main
 
 import (
@@ -21,10 +32,14 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"repro"
 	"repro/internal/experiments"
+	"repro/internal/perf"
 )
 
 func main() {
@@ -41,15 +56,55 @@ func run(args []string, out io.Writer) error {
 	quick := fs.Bool("quick", true, "small cluster and 3-point sweeps")
 	list := fs.Bool("list", false, "print the available figure ids and exit")
 	md := fs.Bool("md", false, "render the output as a Markdown report")
+	benchJSON := fs.Bool("json", false, "run the perf benchmark suite and write a JSON snapshot")
+	benchOut := fs.String("out", "", "snapshot path for -json (default BENCH_<date>.json)")
+	benchQuick := fs.Bool("bench-quick", false, "with -json, skip the end-to-end figure bench")
+	benchDiff := fs.String("bench-diff", "", "compare two snapshots \"old.json,new.json\"")
+	benchTol := fs.Float64("bench-tol", 0.10, "fractional ns/op regression tolerance for -bench-diff")
+	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *list {
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "corpbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "corpbench: memprofile:", err)
+			}
+		}()
+	}
+
+	switch {
+	case *list:
 		for _, id := range corp.FigureIDs() {
 			fmt.Fprintln(out, id)
 		}
 		return nil
+	case *benchDiff != "":
+		return runBenchDiff(out, *benchDiff, *benchTol)
+	case *benchJSON:
+		return runBenchJSON(out, *benchOut, *benchQuick)
 	}
+
 	opts := corp.Options{Seed: *seed, Quick: *quick}
 	ids := []string{*fig}
 	if *fig == "all" {
@@ -73,4 +128,51 @@ func run(args []string, out io.Writer) error {
 		return experiments.WriteMarkdownReport(out, "CORP reproduction report", figs)
 	}
 	return nil
+}
+
+// runBenchJSON runs the perf suite and writes the snapshot file.
+func runBenchJSON(out io.Writer, path string, quick bool) error {
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+	snap := perf.Suite(quick)
+	snap.Date = time.Now().Format("2006-01-02")
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("bench snapshot: %w", err)
+	}
+	defer f.Close()
+	if err := snap.WriteJSON(f); err != nil {
+		return fmt.Errorf("bench snapshot: %w", err)
+	}
+	for _, r := range snap.Results {
+		fmt.Fprintf(out, "%-28s %12.1f ns/op %8d allocs/op %10d B/op\n",
+			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
+	return nil
+}
+
+// runBenchDiff loads two snapshots and fails on kernel regressions.
+func runBenchDiff(out io.Writer, spec string, tol float64) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("bench-diff: want \"old.json,new.json\", got %q", spec)
+	}
+	snaps := make([]perf.Snapshot, 2)
+	for i, path := range parts {
+		f, err := os.Open(strings.TrimSpace(path))
+		if err != nil {
+			return fmt.Errorf("bench-diff: %w", err)
+		}
+		s, err := perf.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("bench-diff %s: %w", path, err)
+		}
+		snaps[i] = s
+	}
+	report, err := perf.Diff(snaps[0], snaps[1], tol)
+	fmt.Fprint(out, report)
+	return err
 }

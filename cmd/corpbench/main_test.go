@@ -2,8 +2,12 @@ package main
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/perf"
 )
 
 func TestRunList(t *testing.T) {
@@ -43,5 +47,106 @@ func TestRunMarkdown(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "# CORP reproduction report") {
 		t.Errorf("markdown report header missing: %.120s", buf.String())
+	}
+}
+
+func TestRunBenchDiffValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-bench-diff", "only-one.json"}, &buf); err == nil {
+		t.Error("malformed -bench-diff spec accepted")
+	}
+	if err := run([]string{"-bench-diff", "missing-a.json,missing-b.json"}, &buf); err == nil {
+		t.Error("missing snapshot files accepted")
+	}
+}
+
+func TestRunBenchDiffGate(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	write := func(path string, ns float64) {
+		s := perf.Snapshot{Date: "2026-08-06", Results: []perf.Result{
+			{Name: "dnn/train-sample-tableII", NsPerOp: ns, Iterations: 100},
+		}}
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := s.WriteJSON(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(oldPath, 5000)
+	write(newPath, 5100) // +2%: passes
+	var buf bytes.Buffer
+	if err := run([]string{"-bench-diff", oldPath + "," + newPath}, &buf); err != nil {
+		t.Fatalf("2%% regression failed the gate: %v", err)
+	}
+	if !strings.Contains(buf.String(), "dnn/train-sample-tableII") {
+		t.Errorf("diff report missing bench name: %s", buf.String())
+	}
+	write(newPath, 7000) // +40%: fails
+	if err := run([]string{"-bench-diff", oldPath + "," + newPath}, &buf); err == nil {
+		t.Error("40% kernel regression passed the gate")
+	}
+}
+
+func TestRunCPUProfileWrites(t *testing.T) {
+	dir := t.TempDir()
+	profPath := filepath.Join(dir, "cpu.out")
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "tableII", "-cpuprofile", profPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(profPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("cpu profile is empty")
+	}
+}
+
+func TestRunMemProfileWrites(t *testing.T) {
+	dir := t.TempDir()
+	profPath := filepath.Join(dir, "mem.out")
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "tableII", "-memprofile", profPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(profPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() == 0 {
+		t.Error("heap profile is empty")
+	}
+}
+
+func TestRunBenchJSONWritesSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmarks")
+	}
+	dir := t.TempDir()
+	outPath := filepath.Join(dir, "BENCH_test.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-json", "-bench-quick", "-out", outPath}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	s, err := perf.ReadSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) == 0 || s.Date == "" {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if !strings.Contains(buf.String(), "dnn/train-sample-tableII") {
+		t.Errorf("summary output missing kernel bench: %s", buf.String())
 	}
 }

@@ -72,8 +72,9 @@ func (a *Autoencoder) Reconstruct(input []float64) ([]float64, error) {
 	return append([]float64(nil), out...), nil
 }
 
-// encoderWeights exposes the trained encoder parameters.
-func (a *Autoencoder) encoderWeights() ([][]float64, []float64) {
+// encoderWeights exposes the trained encoder parameters (flat row-major,
+// stride = visible size — the same layout Network uses).
+func (a *Autoencoder) encoderWeights() ([]float64, []float64) {
 	return a.net.weights[0], a.net.biases[0]
 }
 
@@ -96,9 +97,7 @@ func (n *Network) Pretrain(inputs [][]float64, epochsPerLayer int, seed int64) e
 			return fmt.Errorf("dnn: pretrain layer %d: %w", d, err)
 		}
 		w, b := ae.encoderWeights()
-		for i := range n.weights[d] {
-			copy(n.weights[d][i], w[i])
-		}
+		copy(n.weights[d], w)
 		copy(n.biases[d], b)
 		// Feed the encoded representations to the next layer.
 		next := make([][]float64, len(current))

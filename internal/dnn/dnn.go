@@ -9,6 +9,19 @@
 //
 // Table II fixes the paper's topology: h = 4 layers with 50 units per
 // hidden layer.
+//
+// # Flat kernels
+//
+// The paper flags DNN computation as CORP's main overhead, and this
+// network sits in the simulator's per-slot inner loop, so the compute core
+// is written as contiguous allocation-free kernels: each layer's weights
+// are one flat []float64 (row-major, stride = fan-in) carved from a single
+// slab, activations/deltas/scratch are preallocated, and the hot loops are
+// register-blocked so several output neurons accumulate in parallel.
+// Every kernel preserves the exact per-element floating-point accumulation
+// order of the original jagged implementation (ascending fan-in index),
+// so results are bit-identical to the seed — equivalence_test.go pins
+// this against a reconstructed jagged reference.
 package dnn
 
 import (
@@ -34,15 +47,70 @@ type Config struct {
 
 // Network is a feed-forward sigmoid MLP.
 type Network struct {
-	sizes   []int
-	rate    float64
-	weights [][][]float64 // weights[d][i][j]: layer d+1 neuron i ← layer d neuron j
-	biases  [][]float64   // biases[d][i]: bias e_i of layer d+1 neuron i
+	sizes []int
+	rate  float64
+
+	// weights[d] is the flat row-major weight matrix of layer d → d+1:
+	// weights[d][i*fanIn+j] is the weight from layer-d neuron j to
+	// layer-(d+1) neuron i. All layers are views into one slab so Clone
+	// and averaging are single sweeps.
+	weights [][]float64
+	biases  [][]float64
+	wslab   []float64
+	bslab   []float64
 
 	// scratch buffers reused across calls; Network is NOT safe for
 	// concurrent use (clone per goroutine instead).
 	acts   [][]float64
 	deltas [][]float64
+	tmp    []float64 // fused-backward accumulator, sized to the widest layer
+}
+
+// newShell allocates a network's slabs and views for the given topology
+// without initializing weights.
+func newShell(sizes []int, rate float64) *Network {
+	n := &Network{sizes: append([]int(nil), sizes...), rate: rate}
+	totalW, totalB, maxWidth := 0, 0, 0
+	for d := 0; d < len(sizes)-1; d++ {
+		totalW += sizes[d] * sizes[d+1]
+		totalB += sizes[d+1]
+	}
+	for _, s := range sizes {
+		if s > maxWidth {
+			maxWidth = s
+		}
+	}
+	n.wslab = make([]float64, totalW)
+	n.bslab = make([]float64, totalB)
+	n.weights = make([][]float64, len(sizes)-1)
+	n.biases = make([][]float64, len(sizes)-1)
+	wOff, bOff := 0, 0
+	for d := 0; d < len(sizes)-1; d++ {
+		in, out := sizes[d], sizes[d+1]
+		n.weights[d] = n.wslab[wOff : wOff+in*out : wOff+in*out]
+		n.biases[d] = n.bslab[bOff : bOff+out : bOff+out]
+		wOff += in * out
+		bOff += out
+	}
+	actSlab := make([]float64, 2*sum(sizes))
+	n.acts = make([][]float64, len(sizes))
+	n.deltas = make([][]float64, len(sizes))
+	off := 0
+	for d, s := range sizes {
+		n.acts[d] = actSlab[off : off+s : off+s]
+		n.deltas[d] = actSlab[off+s : off+2*s : off+2*s]
+		off += 2 * s
+	}
+	n.tmp = make([]float64, maxWidth)
+	return n
+}
+
+func sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
 }
 
 // New builds a network with deterministic small random weights.
@@ -60,27 +128,18 @@ func New(cfg Config) (*Network, error) {
 		rate = 0.5
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	n := &Network{sizes: append([]int(nil), cfg.LayerSizes...), rate: rate}
+	n := newShell(cfg.LayerSizes, rate)
 	for d := 0; d < len(n.sizes)-1; d++ {
 		in, out := n.sizes[d], n.sizes[d+1]
 		// Xavier-style scale keeps sigmoid pre-activations in the
-		// responsive region for any layer width.
+		// responsive region for any layer width. The flat matrix is filled
+		// in the same row-major RNG order as the original jagged layout,
+		// so a given seed yields the identical network.
 		scale := math.Sqrt(6.0 / float64(in+out))
-		w := make([][]float64, out)
-		for i := range w {
-			w[i] = make([]float64, in)
-			for j := range w[i] {
-				w[i][j] = (2*rng.Float64() - 1) * scale
-			}
+		w := n.weights[d]
+		for i := 0; i < out*in; i++ {
+			w[i] = (2*rng.Float64() - 1) * scale
 		}
-		n.weights = append(n.weights, w)
-		n.biases = append(n.biases, make([]float64, out))
-	}
-	n.acts = make([][]float64, len(n.sizes))
-	n.deltas = make([][]float64, len(n.sizes))
-	for d, s := range n.sizes {
-		n.acts[d] = make([]float64, s)
-		n.deltas[d] = make([]float64, s)
 	}
 	return n, nil
 }
@@ -99,6 +158,69 @@ func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }
 // F′ = g·(1−g), as used by Eqs. 6–7.
 func sigmoidPrime(g float64) float64 { return g * (1 - g) }
 
+// forward is the feed-forward kernel (Eq. 5): blocked rows accumulate
+// eight output neurons at a time in registers, which breaks the one-long
+// dependent-add chain per neuron into independent pipelined chains. The
+// per-neuron accumulation order (bias, then fan-in ascending) is the same
+// as a plain nested loop.
+func (n *Network) forward(input []float64) {
+	copy(n.acts[0], input)
+	for d := 0; d < len(n.weights); d++ {
+		prev := n.acts[d]
+		cur := n.acts[d+1]
+		in := len(prev)
+		w := n.weights[d]
+		b := n.biases[d]
+		i := 0
+		for ; i+8 <= len(cur); i += 8 {
+			r0 := w[(i+0)*in : (i+0)*in+in : (i+0)*in+in]
+			r1 := w[(i+1)*in : (i+1)*in+in : (i+1)*in+in]
+			r2 := w[(i+2)*in : (i+2)*in+in : (i+2)*in+in]
+			r3 := w[(i+3)*in : (i+3)*in+in : (i+3)*in+in]
+			r4 := w[(i+4)*in : (i+4)*in+in : (i+4)*in+in]
+			r5 := w[(i+5)*in : (i+5)*in+in : (i+5)*in+in]
+			r6 := w[(i+6)*in : (i+6)*in+in : (i+6)*in+in]
+			r7 := w[(i+7)*in : (i+7)*in+in : (i+7)*in+in]
+			s0, s1, s2, s3 := b[i], b[i+1], b[i+2], b[i+3]
+			s4, s5, s6, s7 := b[i+4], b[i+5], b[i+6], b[i+7]
+			for j, g := range prev {
+				s0 += r0[j] * g
+				s1 += r1[j] * g
+				s2 += r2[j] * g
+				s3 += r3[j] * g
+				s4 += r4[j] * g
+				s5 += r5[j] * g
+				s6 += r6[j] * g
+				s7 += r7[j] * g
+			}
+			cur[i], cur[i+1], cur[i+2], cur[i+3] = sigmoid(s0), sigmoid(s1), sigmoid(s2), sigmoid(s3)
+			cur[i+4], cur[i+5], cur[i+6], cur[i+7] = sigmoid(s4), sigmoid(s5), sigmoid(s6), sigmoid(s7)
+		}
+		for ; i+4 <= len(cur); i += 4 {
+			r0 := w[(i+0)*in : (i+0)*in+in : (i+0)*in+in]
+			r1 := w[(i+1)*in : (i+1)*in+in : (i+1)*in+in]
+			r2 := w[(i+2)*in : (i+2)*in+in : (i+2)*in+in]
+			r3 := w[(i+3)*in : (i+3)*in+in : (i+3)*in+in]
+			s0, s1, s2, s3 := b[i], b[i+1], b[i+2], b[i+3]
+			for j, g := range prev {
+				s0 += r0[j] * g
+				s1 += r1[j] * g
+				s2 += r2[j] * g
+				s3 += r3[j] * g
+			}
+			cur[i], cur[i+1], cur[i+2], cur[i+3] = sigmoid(s0), sigmoid(s1), sigmoid(s2), sigmoid(s3)
+		}
+		for ; i < len(cur); i++ {
+			row := w[i*in : i*in+in : i*in+in]
+			sum := b[i]
+			for j, g := range prev {
+				sum += row[j] * g
+			}
+			cur[i] = sigmoid(sum)
+		}
+	}
+}
+
 // Forward runs feed-forward evaluation (Eq. 5) and returns the output
 // activations. The returned slice is owned by the network and overwritten
 // by the next call; copy it if you need to keep it.
@@ -106,88 +228,164 @@ func (n *Network) Forward(input []float64) ([]float64, error) {
 	if len(input) != n.sizes[0] {
 		return nil, fmt.Errorf("dnn: input size %d, want %d", len(input), n.sizes[0])
 	}
-	copy(n.acts[0], input)
-	for d := 0; d < len(n.weights); d++ {
-		prev := n.acts[d]
-		cur := n.acts[d+1]
-		w := n.weights[d]
-		b := n.biases[d]
-		for i := range cur {
-			sum := b[i]
-			wi := w[i]
-			for j, g := range prev {
-				sum += wi[j] * g
-			}
-			cur[i] = sigmoid(sum)
-		}
-	}
+	n.forward(input)
 	return n.acts[len(n.acts)-1], nil
 }
 
-// TrainSample performs one SGD step on a single (input, target) pair:
-// feed-forward (Eq. 5), output error terms (Eq. 6), back-propagation
-// (Eq. 7), and weight update (Eq. 8). It returns the pre-update squared
-// error ½‖t−g‖².
-func (n *Network) TrainSample(input, target []float64) (float64, error) {
-	out, err := n.Forward(input)
-	if err != nil {
-		return 0, err
-	}
+// trainOne is the fused forward+backward+update kernel for one sample.
+// Sizes must already be validated. For each hidden layer the Eq. 7
+// back-propagation and the Eq. 8 weight update share a single blocked pass
+// over the weight matrix: the error contribution is read from a weight
+// immediately before the update is written, so back-propagation sees
+// pre-update weights exactly as a two-pass implementation would.
+func (n *Network) trainOne(input, target []float64) float64 {
+	n.forward(input)
 	last := len(n.sizes) - 1
-	if len(target) != n.sizes[last] {
-		return 0, fmt.Errorf("dnn: target size %d, want %d", len(target), n.sizes[last])
-	}
+	out := n.acts[last]
 	var loss float64
 	for i, g := range out {
 		diff := target[i] - g
 		loss += 0.5 * diff * diff
 		n.deltas[last][i] = diff * sigmoidPrime(g) // Eq. 6
 	}
-	for d := last - 1; d >= 1; d-- { // Eq. 7
-		w := n.weights[d] // layer d → d+1
-		for i := range n.deltas[d] {
-			var sum float64
-			for j := range n.deltas[d+1] {
-				sum += n.deltas[d+1][j] * w[j][i]
-			}
-			n.deltas[d][i] = sum * sigmoidPrime(n.acts[d][i])
-		}
-	}
-	for d := 0; d < len(n.weights); d++ { // Eq. 8
+	rate := n.rate
+	// Hidden layers: fused Eq. 7 + Eq. 8 over weights[d], d = last-1 … 1.
+	for d := last - 1; d >= 1; d-- {
 		w := n.weights[d]
 		b := n.biases[d]
-		prev := n.acts[d]
 		delta := n.deltas[d+1]
-		for i := range w {
-			step := n.rate * delta[i]
-			wi := w[i]
+		prev := n.acts[d]
+		cur := n.deltas[d]
+		in := len(cur)
+		tmp := n.tmp[:in]
+		for i := range tmp {
+			tmp[i] = 0
+		}
+		j := 0
+		for ; j+4 <= len(delta); j += 4 {
+			d0, d1, d2, d3 := delta[j], delta[j+1], delta[j+2], delta[j+3]
+			s0, s1, s2, s3 := rate*d0, rate*d1, rate*d2, rate*d3
+			r0 := w[(j+0)*in : (j+0)*in+in : (j+0)*in+in]
+			r1 := w[(j+1)*in : (j+1)*in+in : (j+1)*in+in]
+			r2 := w[(j+2)*in : (j+2)*in+in : (j+2)*in+in]
+			r3 := w[(j+3)*in : (j+3)*in+in : (j+3)*in+in]
+			for i, g := range prev {
+				t := tmp[i]
+				t += d0 * r0[i]
+				r0[i] += s0 * g
+				t += d1 * r1[i]
+				r1[i] += s1 * g
+				t += d2 * r2[i]
+				r2[i] += s2 * g
+				t += d3 * r3[i]
+				r3[i] += s3 * g
+				tmp[i] = t
+			}
+			b[j] += s0
+			b[j+1] += s1
+			b[j+2] += s2
+			b[j+3] += s3
+		}
+		for ; j < len(delta); j++ {
+			dj := delta[j]
+			step := rate * dj
+			row := w[j*in : j*in+in : j*in+in]
+			for i, g := range prev {
+				tmp[i] += dj * row[i]
+				row[i] += step * g
+			}
+			b[j] += step
+		}
+		for i := range cur {
+			cur[i] = tmp[i] * sigmoidPrime(prev[i])
+		}
+	}
+	// Input layer: Eq. 8 update only (no error term propagates to inputs).
+	{
+		w := n.weights[0]
+		b := n.biases[0]
+		prev := n.acts[0]
+		delta := n.deltas[1]
+		in := len(prev)
+		i := 0
+		for ; i+4 <= len(delta); i += 4 {
+			s0, s1, s2, s3 := rate*delta[i], rate*delta[i+1], rate*delta[i+2], rate*delta[i+3]
+			r0 := w[(i+0)*in : (i+0)*in+in : (i+0)*in+in]
+			r1 := w[(i+1)*in : (i+1)*in+in : (i+1)*in+in]
+			r2 := w[(i+2)*in : (i+2)*in+in : (i+2)*in+in]
+			r3 := w[(i+3)*in : (i+3)*in+in : (i+3)*in+in]
 			for j, g := range prev {
-				wi[j] += step * g
+				r0[j] += s0 * g
+				r1[j] += s1 * g
+				r2[j] += s2 * g
+				r3[j] += s3 * g
+			}
+			b[i] += s0
+			b[i+1] += s1
+			b[i+2] += s2
+			b[i+3] += s3
+		}
+		for ; i < len(delta); i++ {
+			step := rate * delta[i]
+			row := w[i*in : i*in+in : i*in+in]
+			for j, g := range prev {
+				row[j] += step * g
 			}
 			b[i] += step
 		}
+	}
+	return loss
+}
+
+// TrainSample performs one SGD step on a single (input, target) pair:
+// feed-forward (Eq. 5), output error terms (Eq. 6), back-propagation
+// (Eq. 7), and weight update (Eq. 8). It returns the pre-update squared
+// error ½‖t−g‖². The call performs no heap allocations.
+func (n *Network) TrainSample(input, target []float64) (float64, error) {
+	if len(input) != n.sizes[0] {
+		return 0, fmt.Errorf("dnn: input size %d, want %d", len(input), n.sizes[0])
+	}
+	last := len(n.sizes) - 1
+	if len(target) != n.sizes[last] {
+		return 0, fmt.Errorf("dnn: target size %d, want %d", len(target), n.sizes[last])
+	}
+	return n.trainOne(input, target), nil
+}
+
+// TrainBatch runs sequential SGD steps over a batch of samples stored in
+// flat row-major slabs: inputs holds count×inputSize values, targets
+// count×outputSize, where count = len(inputs)/inputSize. Training order
+// and numerics are identical to calling TrainSample on each row in turn;
+// the batched entry point exists so hot callers (the CORP online trainer
+// and its replay ring) can run several steps per call with zero
+// allocations and no per-sample slice bookkeeping. It returns the summed
+// pre-update loss over the batch.
+func (n *Network) TrainBatch(inputs, targets []float64) (float64, error) {
+	inSize := n.sizes[0]
+	outSize := n.sizes[len(n.sizes)-1]
+	if len(inputs) == 0 || len(inputs)%inSize != 0 {
+		return 0, fmt.Errorf("dnn: batch inputs length %d not a positive multiple of %d", len(inputs), inSize)
+	}
+	count := len(inputs) / inSize
+	if len(targets) != count*outSize {
+		return 0, fmt.Errorf("dnn: batch targets length %d, want %d", len(targets), count*outSize)
+	}
+	var loss float64
+	for s := 0; s < count; s++ {
+		in := inputs[s*inSize : (s+1)*inSize]
+		tg := targets[s*outSize : (s+1)*outSize]
+		loss += n.trainOne(in, tg)
 	}
 	return loss, nil
 }
 
 // Clone returns a deep copy sharing no state, so each goroutine in a
-// parallel sweep can own its own network.
+// parallel sweep can own its own network. The flat layout makes this two
+// slab copies plus fresh scratch.
 func (n *Network) Clone() *Network {
-	c := &Network{sizes: append([]int(nil), n.sizes...), rate: n.rate}
-	for d := range n.weights {
-		w := make([][]float64, len(n.weights[d]))
-		for i := range w {
-			w[i] = append([]float64(nil), n.weights[d][i]...)
-		}
-		c.weights = append(c.weights, w)
-		c.biases = append(c.biases, append([]float64(nil), n.biases[d]...))
-	}
-	c.acts = make([][]float64, len(c.sizes))
-	c.deltas = make([][]float64, len(c.sizes))
-	for d, s := range c.sizes {
-		c.acts[d] = make([]float64, s)
-		c.deltas[d] = make([]float64, s)
-	}
+	c := newShell(n.sizes, n.rate)
+	copy(c.wslab, n.wslab)
+	copy(c.bslab, n.bslab)
 	return c
 }
 

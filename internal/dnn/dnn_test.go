@@ -324,6 +324,7 @@ func BenchmarkForwardTableII(b *testing.B) {
 	for i := range in {
 		in[i] = float64(i) / 12
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := n.Forward(in); err != nil {
@@ -342,9 +343,35 @@ func BenchmarkTrainSampleTableII(b *testing.B) {
 		in[i] = float64(i) / 12
 	}
 	target := []float64{0.5}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := n.TrainSample(in, target); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTrainBatchTableII measures the batched kernel at the CORP
+// online shape: 1 new sample + 5 replays per call.
+func BenchmarkTrainBatchTableII(b *testing.B) {
+	n, err := New(Config{LayerSizes: []int{12, 50, 50, 1}, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 6
+	ins := make([]float64, batch*12)
+	tgts := make([]float64, batch)
+	for i := range ins {
+		ins[i] = float64(i%12) / 12
+	}
+	for i := range tgts {
+		tgts[i] = 0.5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := n.TrainBatch(ins, tgts); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -10,15 +10,19 @@ import (
 // plain rule (it is what the paper specifies); offline pretraining can opt
 // into these for faster convergence.
 
-// MomentumTrainer wraps a network with classical-momentum SGD state.
+// MomentumTrainer wraps a network with classical-momentum SGD state. Its
+// velocity and gradient accumulators mirror the network's flat weight
+// layout (one []float64 per layer, row-major) and its backward pass reuses
+// the network's activation/delta/scratch buffers, so training allocates
+// nothing per sample.
 type MomentumTrainer struct {
 	net      *Network
 	momentum float64
-	vW       [][][]float64
+	vW       [][]float64
 	vB       [][]float64
 
 	// accumulated minibatch gradients
-	gW    [][][]float64
+	gW    [][]float64
 	gB    [][]float64
 	batch int
 }
@@ -33,28 +37,25 @@ func NewMomentumTrainer(net *Network, momentum float64) *MomentumTrainer {
 		momentum = 0.99
 	}
 	t := &MomentumTrainer{net: net, momentum: momentum}
-	t.vW, t.gW = zerosLikeWeights(net), zerosLikeWeights(net)
-	t.vB, t.gB = zerosLikeBiases(net), zerosLikeBiases(net)
+	t.vW, t.vB = flatZeros(net)
+	t.gW, t.gB = flatZeros(net)
 	return t
 }
 
-func zerosLikeWeights(n *Network) [][][]float64 {
-	out := make([][][]float64, len(n.weights))
+// flatZeros allocates zeroed parameter-shaped slabs sliced per layer.
+func flatZeros(n *Network) ([][]float64, [][]float64) {
+	wslab := make([]float64, len(n.wslab))
+	bslab := make([]float64, len(n.bslab))
+	w := make([][]float64, len(n.weights))
+	b := make([][]float64, len(n.biases))
+	wOff, bOff := 0, 0
 	for d := range n.weights {
-		out[d] = make([][]float64, len(n.weights[d]))
-		for i := range n.weights[d] {
-			out[d][i] = make([]float64, len(n.weights[d][i]))
-		}
+		w[d] = wslab[wOff : wOff+len(n.weights[d])]
+		b[d] = bslab[bOff : bOff+len(n.biases[d])]
+		wOff += len(n.weights[d])
+		bOff += len(n.biases[d])
 	}
-	return out
-}
-
-func zerosLikeBiases(n *Network) [][]float64 {
-	out := make([][]float64, len(n.biases))
-	for d := range n.biases {
-		out[d] = make([]float64, len(n.biases[d]))
-	}
-	return out
+	return w, b
 }
 
 // Accumulate computes one sample's gradient (without touching the
@@ -76,25 +77,40 @@ func (t *MomentumTrainer) Accumulate(input, target []float64) (float64, error) {
 		loss += 0.5 * diff * diff
 		n.deltas[last][i] = diff * sigmoidPrime(g)
 	}
+	// Back-propagate without updating weights. Iterating rows (j) and
+	// accumulating into tmp keeps the per-element addition order identical
+	// to the classic i-outer/j-inner sum while reading the flat matrix
+	// sequentially.
 	for d := last - 1; d >= 1; d-- {
 		w := n.weights[d]
-		for i := range n.deltas[d] {
-			var sum float64
-			for j := range n.deltas[d+1] {
-				sum += n.deltas[d+1][j] * w[j][i]
+		delta := n.deltas[d+1]
+		cur := n.deltas[d]
+		in := len(cur)
+		tmp := n.tmp[:in]
+		for i := range tmp {
+			tmp[i] = 0
+		}
+		for j, dj := range delta {
+			row := w[j*in : j*in+in : j*in+in]
+			for i, wv := range row {
+				tmp[i] += dj * wv
 			}
-			n.deltas[d][i] = sum * sigmoidPrime(n.acts[d][i])
+		}
+		for i := range cur {
+			cur[i] = tmp[i] * sigmoidPrime(n.acts[d][i])
 		}
 	}
 	for d := 0; d < len(n.weights); d++ {
 		prev := n.acts[d]
 		delta := n.deltas[d+1]
-		for i := range t.gW[d] {
-			gi := t.gW[d][i]
+		in := len(prev)
+		gw := t.gW[d]
+		for i, di := range delta {
+			gi := gw[i*in : i*in+in : i*in+in]
 			for j, g := range prev {
-				gi[j] += delta[i] * g
+				gi[j] += di * g
 			}
-			t.gB[d][i] += delta[i]
+			t.gB[d][i] += di
 		}
 	}
 	t.batch++
@@ -111,15 +127,15 @@ func (t *MomentumTrainer) Step() error {
 	n := t.net
 	inv := 1 / float64(t.batch)
 	for d := range n.weights {
-		for i := range n.weights[d] {
-			wi := n.weights[d][i]
-			vi := t.vW[d][i]
-			gi := t.gW[d][i]
-			for j := range wi {
-				vi[j] = t.momentum*vi[j] + n.rate*gi[j]*inv
-				wi[j] += vi[j]
-				gi[j] = 0
-			}
+		wi := n.weights[d]
+		vi := t.vW[d]
+		gi := t.gW[d]
+		for j := range wi {
+			vi[j] = t.momentum*vi[j] + n.rate*gi[j]*inv
+			wi[j] += vi[j]
+			gi[j] = 0
+		}
+		for i := range n.biases[d] {
 			t.vB[d][i] = t.momentum*t.vB[d][i] + n.rate*t.gB[d][i]*inv
 			n.biases[d][i] += t.vB[d][i]
 			t.gB[d][i] = 0

@@ -24,18 +24,18 @@ func TestStepEmptyBatchFails(t *testing.T) {
 
 func TestAccumulateDoesNotMoveWeights(t *testing.T) {
 	n, _ := New(Config{LayerSizes: []int{1, 3, 1}, Seed: 2})
-	before := n.weights[0][0][0]
+	before := n.weights[0][0]
 	tr := NewMomentumTrainer(n, 0.9)
 	if _, err := tr.Accumulate([]float64{0.4}, []float64{0.9}); err != nil {
 		t.Fatal(err)
 	}
-	if n.weights[0][0][0] != before {
+	if n.weights[0][0] != before {
 		t.Error("Accumulate mutated weights before Step")
 	}
 	if err := tr.Step(); err != nil {
 		t.Fatal(err)
 	}
-	if n.weights[0][0][0] == before {
+	if n.weights[0][0] == before {
 		t.Error("Step did not update weights")
 	}
 }
@@ -115,11 +115,9 @@ func TestMomentumGradientMatchesPlainStep(t *testing.T) {
 	}
 	for d := range a.weights {
 		for i := range a.weights[d] {
-			for j := range a.weights[d][i] {
-				if math.Abs(a.weights[d][i][j]-b.weights[d][i][j]) > 1e-12 {
-					t.Fatalf("weights diverge at [%d][%d][%d]: %v vs %v",
-						d, i, j, a.weights[d][i][j], b.weights[d][i][j])
-				}
+			if math.Abs(a.weights[d][i]-b.weights[d][i]) > 1e-12 {
+				t.Fatalf("weights diverge at [%d][%d]: %v vs %v",
+					d, i, a.weights[d][i], b.weights[d][i])
 			}
 		}
 	}

@@ -132,29 +132,26 @@ func (n *Network) TrainParallel(samples []Sample, opts ParallelOptions) (TrainRe
 }
 
 // averageFrom overwrites the network's parameters with the element-wise
-// mean of the replicas'.
+// mean of the replicas'. The flat layout makes this two slab sweeps; the
+// per-element replica summation order matches the jagged implementation,
+// so averaged parameters are bit-identical.
 func (n *Network) averageFrom(replicas []*Network) {
 	if len(replicas) == 0 {
 		return
 	}
 	inv := 1 / float64(len(replicas))
-	for d := range n.weights {
-		for i := range n.weights[d] {
-			row := n.weights[d][i]
-			for j := range row {
-				var sum float64
-				for _, r := range replicas {
-					sum += r.weights[d][i][j]
-				}
-				row[j] = sum * inv
-			}
+	for j := range n.wslab {
+		var sum float64
+		for _, r := range replicas {
+			sum += r.wslab[j]
 		}
-		for i := range n.biases[d] {
-			var sum float64
-			for _, r := range replicas {
-				sum += r.biases[d][i]
-			}
-			n.biases[d][i] = sum * inv
+		n.wslab[j] = sum * inv
+	}
+	for j := range n.bslab {
+		var sum float64
+		for _, r := range replicas {
+			sum += r.bslab[j]
 		}
+		n.bslab[j] = sum * inv
 	}
 }

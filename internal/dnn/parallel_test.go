@@ -98,16 +98,16 @@ func TestAverageFrom(t *testing.T) {
 	c := a.Clone()
 	// Shift b's first weight by +2 and c's by −2: the average must land
 	// back on a's value.
-	orig := a.weights[0][0][0]
-	b.weights[0][0][0] = orig + 2
-	c.weights[0][0][0] = orig - 2
+	orig := a.weights[0][0]
+	b.weights[0][0] = orig + 2
+	c.weights[0][0] = orig - 2
 	a.averageFrom([]*Network{b, c})
-	if math.Abs(a.weights[0][0][0]-orig) > 1e-12 {
-		t.Errorf("average = %v, want %v", a.weights[0][0][0], orig)
+	if math.Abs(a.weights[0][0]-orig) > 1e-12 {
+		t.Errorf("average = %v, want %v", a.weights[0][0], orig)
 	}
 	// Averaging from nothing is a no-op.
 	a.averageFrom(nil)
-	if math.Abs(a.weights[0][0][0]-orig) > 1e-12 {
+	if math.Abs(a.weights[0][0]-orig) > 1e-12 {
 		t.Error("empty average mutated the network")
 	}
 }

@@ -11,7 +11,10 @@ import (
 // prediction path never pays the training cost (the operational split the
 // paper's overhead discussion assumes).
 
-// networkJSON is the on-disk shape.
+// networkJSON is the on-disk shape. It keeps the original nested
+// row-per-neuron weight layout so files written by earlier versions load
+// unchanged; the flat in-memory representation is packed/unpacked at this
+// boundary only.
 type networkJSON struct {
 	Sizes   []int         `json:"sizes"`
 	Rate    float64       `json:"rate"`
@@ -21,10 +24,19 @@ type networkJSON struct {
 
 // Save writes the network's parameters as JSON.
 func (n *Network) Save(w io.Writer) error {
+	weights := make([][][]float64, len(n.weights))
+	for d := range n.weights {
+		in, out := n.sizes[d], n.sizes[d+1]
+		rows := make([][]float64, out)
+		for i := 0; i < out; i++ {
+			rows[i] = n.weights[d][i*in : (i+1)*in]
+		}
+		weights[d] = rows
+	}
 	out := networkJSON{
 		Sizes:   n.sizes,
 		Rate:    n.rate,
-		Weights: n.weights,
+		Weights: weights,
 		Biases:  n.biases,
 	}
 	enc := json.NewEncoder(w)
@@ -62,12 +74,13 @@ func LoadFrom(dec *json.Decoder) (*Network, error) {
 			}
 		}
 	}
-	n := &Network{sizes: in.Sizes, rate: in.Rate, weights: in.Weights, biases: in.Biases}
-	n.acts = make([][]float64, len(n.sizes))
-	n.deltas = make([][]float64, len(n.sizes))
-	for d, s := range n.sizes {
-		n.acts[d] = make([]float64, s)
-		n.deltas[d] = make([]float64, s)
+	n := newShell(in.Sizes, in.Rate)
+	for d := range in.Weights {
+		size := in.Sizes[d]
+		for i, row := range in.Weights[d] {
+			copy(n.weights[d][i*size:(i+1)*size], row)
+		}
+		copy(n.biases[d], in.Biases[d])
 	}
 	return n, nil
 }

@@ -1,0 +1,221 @@
+// Package perf is the repo's performance-trajectory harness: it runs the
+// hot-path microbenchmarks (DNN kernels, the CORP observe path, one quick
+// end-to-end figure) through testing.Benchmark, snapshots the results as
+// JSON (the BENCH_<date>.json artifacts committed at the repo root), and
+// diffs two snapshots so CI can fail on kernel regressions. cmd/corpbench
+// exposes it via -json and -bench-diff; `make bench` / `make bench-diff`
+// wrap both.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/dnn"
+	"repro/internal/experiments"
+	"repro/internal/predict"
+	"repro/internal/resource"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// Snapshot is one BENCH_<date>.json file.
+type Snapshot struct {
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOARCH    string   `json:"goarch"`
+	Results   []Result `json:"results"`
+}
+
+// kernelPrefix marks the benches gated by Diff: the DNN compute kernels,
+// whose regressions the ISSUE's perf work exists to prevent. End-to-end
+// benches (figure runs) are recorded but not gated — they are too noisy
+// for a 10% threshold.
+const kernelPrefix = "dnn/"
+
+// tableIINet builds the paper's Table II predictor network {Δ, 50, 50, 1}.
+func tableIINet(seed int64) (*dnn.Network, []float64, []float64) {
+	net, err := dnn.New(dnn.Config{LayerSizes: []int{12, 50, 50, 1}, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	in := make([]float64, 12)
+	for i := range in {
+		in[i] = float64(i) / 12
+	}
+	return net, in, []float64{0.5}
+}
+
+// Suite runs every tracked benchmark and returns a snapshot (Date is left
+// for the caller to stamp). quick shrinks nothing today — the kernel
+// benches are sub-second — but skips the end-to-end figure bench, which
+// dominates wall time.
+func Suite(quick bool) Snapshot {
+	snap := Snapshot{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH}
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		snap.Results = append(snap.Results, Result{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		})
+	}
+
+	add("dnn/forward-tableII", func(b *testing.B) {
+		net, in, _ := tableIINet(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.Forward(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("dnn/train-sample-tableII", func(b *testing.B) {
+		net, in, target := tableIINet(1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.TrainSample(in, target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("dnn/train-batch-tableII", func(b *testing.B) {
+		// A 6-sample batch, the CORP online shape (1 new + 5 replays).
+		net, in, _ := tableIINet(1)
+		const batch = 6
+		ins := make([]float64, batch*len(in))
+		tgts := make([]float64, batch)
+		for s := 0; s < batch; s++ {
+			copy(ins[s*len(in):], in)
+			tgts[s] = 0.5
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.TrainBatch(ins, tgts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("predict/corp-observe", func(b *testing.B) {
+		brain, err := predict.NewCorpBrain(predict.CorpConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		capacity := resource.Vector{8, 16, 100}
+		p := predict.NewCorpPredictor(brain, capacity, 1)
+		// Warm the history past the cold-start threshold so every
+		// iteration exercises the full train path.
+		for i := 0; i < 32; i++ {
+			p.Observe(resource.Vector{4, 8, 50})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Observe(resource.Vector{4, 8, 50})
+		}
+	})
+	if !quick {
+		add("figure/fig06-quick", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Fig06PredictionError(experiments.Options{
+					Profile: cluster.ProfileCluster, Seed: 1, Quick: true,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot with stable formatting.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSnapshot parses a snapshot written by WriteJSON.
+func ReadSnapshot(r io.Reader) (Snapshot, error) {
+	var s Snapshot
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("perf: read snapshot: %w", err)
+	}
+	return s, nil
+}
+
+// Diff compares two snapshots and returns a human-readable report plus an
+// error if any dnn/* kernel regressed by more than tol (fractional, e.g.
+// 0.10 for 10%) in ns/op, or grew its allocs/op at all. Benches present in
+// only one snapshot are reported but never fail the diff.
+func Diff(old, new Snapshot, tol float64) (string, error) {
+	if tol <= 0 {
+		tol = 0.10
+	}
+	oldBy := make(map[string]Result, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	names := make([]string, 0, len(new.Results))
+	for _, r := range new.Results {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	newBy := make(map[string]Result, len(new.Results))
+	for _, r := range new.Results {
+		newBy[r.Name] = r
+	}
+
+	var sb strings.Builder
+	var failures []string
+	fmt.Fprintf(&sb, "%-28s %14s %14s %8s\n", "bench", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		nr := newBy[name]
+		or, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-28s %14s %14.1f %8s\n", name, "-", nr.NsPerOp, "new")
+			continue
+		}
+		delta := 0.0
+		if or.NsPerOp > 0 {
+			delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+		}
+		fmt.Fprintf(&sb, "%-28s %14.1f %14.1f %+7.1f%%\n", name, or.NsPerOp, nr.NsPerOp, delta*100)
+		if !strings.HasPrefix(name, kernelPrefix) {
+			continue
+		}
+		if delta > tol {
+			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.1f%% (> %.0f%%)", name, delta*100, tol*100))
+		}
+		if nr.AllocsPerOp > or.AllocsPerOp {
+			failures = append(failures, fmt.Sprintf("%s: allocs/op grew %d → %d", name, or.AllocsPerOp, nr.AllocsPerOp))
+		}
+	}
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			fmt.Fprintf(&sb, "%-28s %14.1f %14s %8s\n", name, oldBy[name].NsPerOp, "-", "gone")
+		}
+	}
+	if len(failures) > 0 {
+		return sb.String(), fmt.Errorf("perf: kernel regression:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return sb.String(), nil
+}

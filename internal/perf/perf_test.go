@@ -1,0 +1,118 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func snap(results ...Result) Snapshot {
+	return Snapshot{Date: "2026-08-06", GoVersion: "go1.24.0", GOARCH: "amd64", Results: results}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := snap(
+		Result{Name: "dnn/forward-tableII", NsPerOp: 2500.5, Iterations: 100000},
+		Result{Name: "predict/corp-observe", NsPerOp: 80000, AllocsPerOp: 0, BytesPerOp: 0, Iterations: 1000},
+	)
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Date != s.Date || got.GoVersion != s.GoVersion || len(got.Results) != 2 {
+		t.Fatalf("roundtrip = %+v", got)
+	}
+	if got.Results[0] != s.Results[0] {
+		t.Errorf("result 0 = %+v, want %+v", got.Results[0], s.Results[0])
+	}
+}
+
+func TestReadSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestDiffPassesWithinTolerance(t *testing.T) {
+	old := snap(Result{Name: "dnn/train-sample-tableII", NsPerOp: 5000})
+	new := snap(Result{Name: "dnn/train-sample-tableII", NsPerOp: 5400}) // +8%
+	report, err := Diff(old, new, 0.10)
+	if err != nil {
+		t.Fatalf("8%% regression failed the 10%% gate: %v\n%s", err, report)
+	}
+	if !strings.Contains(report, "dnn/train-sample-tableII") {
+		t.Errorf("report missing bench name:\n%s", report)
+	}
+}
+
+func TestDiffFailsOnKernelRegression(t *testing.T) {
+	old := snap(Result{Name: "dnn/train-sample-tableII", NsPerOp: 5000})
+	new := snap(Result{Name: "dnn/train-sample-tableII", NsPerOp: 6000}) // +20%
+	if _, err := Diff(old, new, 0.10); err == nil {
+		t.Error("20% kernel regression passed the 10% gate")
+	}
+}
+
+func TestDiffFailsOnKernelAllocGrowth(t *testing.T) {
+	old := snap(Result{Name: "dnn/forward-tableII", NsPerOp: 2500, AllocsPerOp: 0})
+	new := snap(Result{Name: "dnn/forward-tableII", NsPerOp: 2500, AllocsPerOp: 2})
+	if _, err := Diff(old, new, 0.10); err == nil {
+		t.Error("alloc growth in a kernel passed the gate")
+	}
+}
+
+func TestDiffIgnoresNonKernelRegression(t *testing.T) {
+	// End-to-end figure benches are recorded but too noisy to gate.
+	old := snap(Result{Name: "figure/fig06-quick", NsPerOp: 1e9})
+	new := snap(Result{Name: "figure/fig06-quick", NsPerOp: 2e9})
+	if _, err := Diff(old, new, 0.10); err != nil {
+		t.Errorf("non-kernel regression failed the diff: %v", err)
+	}
+}
+
+func TestDiffReportsNewAndGoneBenches(t *testing.T) {
+	old := snap(Result{Name: "dnn/gone", NsPerOp: 100})
+	new := snap(Result{Name: "dnn/fresh", NsPerOp: 100})
+	report, err := Diff(old, new, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report, "new") || !strings.Contains(report, "gone") {
+		t.Errorf("report missing new/gone markers:\n%s", report)
+	}
+}
+
+// TestSuiteQuickRunsKernels smoke-tests the harness itself: the quick
+// suite must produce the kernel benches with allocation-free results.
+func TestSuiteQuickRunsKernels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs benchmarks")
+	}
+	s := Suite(true)
+	want := map[string]bool{
+		"dnn/forward-tableII":      false,
+		"dnn/train-sample-tableII": false,
+		"dnn/train-batch-tableII":  false,
+		"predict/corp-observe":     false,
+	}
+	for _, r := range s.Results {
+		if _, ok := want[r.Name]; ok {
+			want[r.Name] = true
+		}
+		if strings.HasPrefix(r.Name, "dnn/") && r.AllocsPerOp != 0 {
+			t.Errorf("%s allocates %d/op", r.Name, r.AllocsPerOp)
+		}
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s ns/op = %v", r.Name, r.NsPerOp)
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("suite missing %s", name)
+		}
+	}
+}

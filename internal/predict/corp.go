@@ -96,15 +96,29 @@ func (c CorpConfig) withDefaults() CorpConfig {
 // Each incoming sample is also pushed into a replay ring; every online
 // step additionally replays a few past samples, approximating the paper's
 // multi-epoch training loop without buffering the whole trace.
+//
+// The rings are flat row-major slabs (row stride = InputSlots) and each
+// online step assembles the new sample plus its replay picks into a
+// preallocated batch fed to dnn.TrainBatch, so the per-slot training path
+// performs no heap allocations.
 type CorpBrain struct {
 	cfg  CorpConfig
 	nets [resource.NumKinds]*dnn.Network
 	// trainSteps counts SGD updates, exposed for overhead accounting.
 	trainSteps int
+	// trainErrors counts rejected online training calls (malformed
+	// samples); surfaced via TrainErrors so a broken feed cannot
+	// masquerade as a trained predictor.
+	trainErrors int
 
-	replay    [resource.NumKinds][]dnn.Sample
+	replayIn  [resource.NumKinds][]float64 // ring slab: replayCap rows × InputSlots
+	replayTgt [resource.NumKinds][]float64 // ring slab: replayCap targets
+	replayLen [resource.NumKinds]int
 	replayPos [resource.NumKinds]int
-	rng       *rand.Rand
+
+	batchIn  []float64 // (1+ReplaySteps) rows × InputSlots
+	batchTgt []float64 // (1+ReplaySteps) targets
+	rng      *rand.Rand
 }
 
 // NewCorpBrain builds the shared networks.
@@ -126,37 +140,61 @@ func NewCorpBrain(cfg CorpConfig) (*CorpBrain, error) {
 			return nil, fmt.Errorf("predict: corp brain: %w", err)
 		}
 		b.nets[k] = net
+		b.replayIn[k] = make([]float64, replayCap*cfg.InputSlots)
+		b.replayTgt[k] = make([]float64, replayCap)
 	}
+	b.batchIn = make([]float64, (1+cfg.ReplaySteps)*cfg.InputSlots)
+	b.batchTgt = make([]float64, 1+cfg.ReplaySteps)
 	return b, nil
 }
 
 // TrainSteps returns the number of SGD updates performed so far.
 func (b *CorpBrain) TrainSteps() int { return b.trainSteps }
 
+// TrainErrors returns how many online training calls were rejected.
+func (b *CorpBrain) TrainErrors() int { return b.trainErrors }
+
 // replayCap bounds the per-kind replay ring.
 const replayCap = 4096
 
 // train performs one online SGD step for kind k on the new sample plus a
-// few replayed past samples.
+// few replayed past samples, all in a single TrainBatch call. The batch is
+// assembled in the order the original per-sample loop trained (new sample
+// first, then each replay pick as drawn), so results are bit-identical to
+// sequential TrainSample calls.
 func (b *CorpBrain) train(k resource.Kind, input []float64, target float64) error {
-	if _, err := b.nets[k].TrainSample(input, []float64{target}); err != nil {
-		return err
+	in := b.cfg.InputSlots
+	if len(input) != in {
+		b.trainErrors++
+		return fmt.Errorf("predict: train kind %v: input length %d, want %d", k, len(input), in)
 	}
-	b.trainSteps++
-	sample := dnn.Sample{Input: append([]float64(nil), input...), Target: []float64{target}}
-	if len(b.replay[k]) < replayCap {
-		b.replay[k] = append(b.replay[k], sample)
+	copy(b.batchIn[:in], input)
+	b.batchTgt[0] = target
+	// Push the new sample into the ring (it is eligible for its own
+	// replay draw, as before).
+	ring := b.replayIn[k]
+	var pos int
+	if b.replayLen[k] < replayCap {
+		pos = b.replayLen[k]
+		b.replayLen[k]++
 	} else {
-		b.replay[k][b.replayPos[k]] = sample
+		pos = b.replayPos[k]
 		b.replayPos[k] = (b.replayPos[k] + 1) % replayCap
 	}
-	for i := 0; i < b.cfg.ReplaySteps && len(b.replay[k]) > 1; i++ {
-		s := b.replay[k][b.rng.Intn(len(b.replay[k]))]
-		if _, err := b.nets[k].TrainSample(s.Input, s.Target); err != nil {
-			return err
-		}
-		b.trainSteps++
+	copy(ring[pos*in:(pos+1)*in], input)
+	b.replayTgt[k][pos] = target
+	count := 1
+	for i := 0; i < b.cfg.ReplaySteps && b.replayLen[k] > 1; i++ {
+		s := b.rng.Intn(b.replayLen[k])
+		copy(b.batchIn[count*in:(count+1)*in], ring[s*in:(s+1)*in])
+		b.batchTgt[count] = b.replayTgt[k][s]
+		count++
 	}
+	if _, err := b.nets[k].TrainBatch(b.batchIn[:count*in], b.batchTgt[:count]); err != nil {
+		b.trainErrors++
+		return err
+	}
+	b.trainSteps += count
 	return nil
 }
 
@@ -229,12 +267,18 @@ func (p *CorpPredictor) Observe(actual resource.Vector) {
 			p.scratch[i] = clamp01(vals[inStart+i] / capK)
 		}
 		target := clamp01(stats.Mean(vals[len(vals)-p.cfg.Window:]) / capK)
-		// Errors here are impossible by construction (sizes match);
-		// surfacing them would force every caller to handle a
-		// can't-happen branch.
+		// Observe has no error channel (the Predictor interface treats
+		// observation as fire-and-forget), but rejected samples are
+		// counted by the brain and surfaced via TrainErrors/sim.Result so
+		// a broken feed cannot silently disable learning.
 		_ = p.brain.train(k, p.scratch, target)
 	}
 }
+
+// TrainErrors returns how many of this predictor's training samples the
+// shared brain rejected. The count is brain-wide (shared across the VMs
+// feeding it), matching how TrainSteps is accounted.
+func (p *CorpPredictor) TrainErrors() int { return p.brain.trainErrors }
 
 // Predict implements Predictor: DNN estimate, HMM peak/valley correction,
 // confidence-interval adjustment, Eq. 21 gate.

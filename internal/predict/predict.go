@@ -84,6 +84,13 @@ type tracker struct {
 	// untrained model, and in a short run they would dominate the
 	// confidence-interval width for its whole duration).
 	maturedPreds int
+
+	// Reused linearization buffers for the ring windows: histValues and
+	// the error-statistics helpers run once per kind per slot across the
+	// whole cluster, so per-call Values() allocations dominated the
+	// observe path's heap traffic.
+	histScratch [resource.NumKinds][]float64
+	errScratch  []float64
 }
 
 // coldSkip is how many initial matured predictions are kept out of the
@@ -143,7 +150,7 @@ func (t *tracker) observe(actual resource.Vector) {
 func (t *tracker) recentMean(n int) resource.Vector {
 	var out resource.Vector
 	for k := range t.hist {
-		vals := t.hist[k].Values()
+		vals := t.histValues(resource.Kind(k))
 		if len(vals) > n {
 			vals = vals[len(vals)-n:]
 		}
@@ -164,22 +171,33 @@ func (t *tracker) drainOutcomes() []ErrorSample {
 	return out
 }
 
-// histValues returns the full per-kind history, oldest first.
+// histValues returns the full per-kind history, oldest first. The slice
+// is tracker-owned scratch overwritten by the next call for the same kind;
+// callers must consume it before re-entering the tracker and must not
+// retain it.
 func (t *tracker) histValues(k resource.Kind) []float64 {
-	return t.hist[k].Values()
+	t.histScratch[k] = t.hist[k].AppendValues(t.histScratch[k][:0])
+	return t.histScratch[k]
+}
+
+// errValues linearizes kind k's matured-error window into shared scratch
+// (the same ownership rules as histValues).
+func (t *tracker) errValues(k resource.Kind) []float64 {
+	t.errScratch = t.errs[k].AppendValues(t.errScratch[:0])
+	return t.errScratch
 }
 
 // errStdDev returns σ̂ for kind k, the sample standard deviation of the
 // matured prediction errors (Eq. 18).
 func (t *tracker) errStdDev(k resource.Kind) float64 {
-	return stats.SampleStdDev(t.errs[k].Values())
+	return stats.SampleStdDev(t.errValues(k))
 }
 
 // errWithin returns the empirical P(0 ≤ δ < ε·cap_k) for kind k along with
 // the sample count — the left side of Eq. 21 with a capacity-relative
 // tolerance.
 func (t *tracker) errWithin(k resource.Kind, epsilon float64) (float64, int) {
-	vals := t.errs[k].Values()
+	vals := t.errValues(k)
 	if len(vals) == 0 {
 		return 0, 0
 	}

@@ -425,6 +425,7 @@ func BenchmarkCorpPredict(b *testing.B) {
 	p := NewCorpPredictor(brain, testCap, 1)
 	rng := rand.New(rand.NewSource(1))
 	feedSeries(p, fluctuating(rng, 2.0, 0.5, 60))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Predict()
@@ -439,6 +440,7 @@ func BenchmarkCorpObserve(b *testing.B) {
 	p := NewCorpPredictor(brain, testCap, 1)
 	rng := rand.New(rand.NewSource(1))
 	feedSeries(p, fluctuating(rng, 2.0, 0.5, 60))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Observe(resource.New(2, 8, 90))
@@ -449,6 +451,7 @@ func BenchmarkRCCRPredict(b *testing.B) {
 	p := NewRCCRPredictor(RCCRConfig{}, testCap)
 	rng := rand.New(rand.NewSource(1))
 	feedSeries(p, fluctuating(rng, 2.0, 0.5, 60))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Predict()
@@ -459,6 +462,7 @@ func BenchmarkCloudScalePredict(b *testing.B) {
 	p := NewCloudScalePredictor(CloudScaleConfig{}, testCap)
 	rng := rand.New(rand.NewSource(1))
 	feedSeries(p, fluctuating(rng, 2.0, 0.5, 60))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		p.Predict()

@@ -205,7 +205,7 @@ func New(cfg Config, cl *cluster.Cluster) (Scheduler, error) {
 		}
 		return &corpScheduler{
 			base: base, name: "CORP", packing: !cfg.DisablePacking,
-			margin: margin, strategy: strategy, packK: packK,
+			margin: margin, strategy: strategy, packK: packK, brain: brain,
 		}, nil
 	case RCCR:
 		for i, cap := range caps {
@@ -379,6 +379,19 @@ type corpScheduler struct {
 	margin   float64
 	strategy packing.Strategy
 	packK    int
+	// brain is the shared online DNN (nil for the oracle variant, which
+	// reuses this scheduler without learned predictions).
+	brain *predict.CorpBrain
+}
+
+// TrainErrors reports how many online DNN training samples the shared
+// brain rejected; zero for the oracle variant. The simulator surfaces this
+// through Result so a silently broken training feed is visible.
+func (s *corpScheduler) TrainErrors() int {
+	if s.brain == nil {
+		return 0
+	}
+	return s.brain.TrainErrors()
 }
 
 // AdjustAlloc implements Adjuster: the corrected amount tracks the job's

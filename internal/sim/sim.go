@@ -193,6 +193,12 @@ type Result struct {
 	// in fault-free runs.
 	Recovery metrics.RecoveryStats
 
+	// DNNTrainErrors counts online training samples the CORP brain
+	// rejected during the run (always zero for healthy feeds; non-zero
+	// means the predictor silently stopped learning part of its input).
+	// Zero for schemes without an online DNN.
+	DNNTrainErrors int
+
 	// Timeline holds per-slot snapshots when Config.RecordTimeline is
 	// set (nil otherwise).
 	Timeline []TimelinePoint
@@ -791,6 +797,9 @@ func Run(cfg Config) (*Result, error) {
 		res.ResponseP95 = p
 	}
 	res.Fairness = metrics.JainFairness(serviceRates)
+	if te, ok := sched.(interface{ TrainErrors() int }); ok {
+		res.DNNTrainErrors = te.TrainErrors()
+	}
 	return res, nil
 }
 

@@ -450,3 +450,19 @@ func TestOracleUpperBound(t *testing.T) {
 			oracle.Overall, corp.Overall)
 	}
 }
+
+// TestRunSurfacesDNNTrainErrors checks the Result plumbing for the CORP
+// brain's rejected-sample counter: a healthy run must report zero (the
+// Observe path only produces well-formed samples), and non-CORP schemes
+// must also report zero rather than garbage.
+func TestRunSurfacesDNNTrainErrors(t *testing.T) {
+	for _, sc := range []scheduler.Scheme{scheduler.CORP, scheduler.RCCR, scheduler.Oracle} {
+		r, err := Run(small(sc, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.DNNTrainErrors != 0 {
+			t.Errorf("%v: DNNTrainErrors = %d, want 0", sc, r.DNNTrainErrors)
+		}
+	}
+}

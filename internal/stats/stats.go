@@ -220,11 +220,23 @@ func (w *Window) At(i int) float64 {
 
 // Values copies the samples oldest-first into a fresh slice.
 func (w *Window) Values() []float64 {
-	out := make([]float64, w.n)
-	for i := 0; i < w.n; i++ {
-		out[i] = w.At(i)
+	return w.AppendValues(nil)
+}
+
+// AppendValues appends the samples oldest-first to dst and returns the
+// extended slice. Callers on hot paths pass a reused buffer (dst[:0]) to
+// avoid the per-call allocation of Values.
+func (w *Window) AppendValues(dst []float64) []float64 {
+	if w.n == 0 {
+		return dst
 	}
-	return out
+	// The ring is at most two contiguous runs of buf.
+	head := w.buf[w.head:]
+	if len(head) >= w.n {
+		return append(dst, head[:w.n]...)
+	}
+	dst = append(dst, head...)
+	return append(dst, w.buf[:w.n-len(head)]...)
 }
 
 // Last returns the newest sample; ok is false when empty.
