@@ -3,9 +3,10 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race bench bench-figs bench-diff
+.PHONY: check check-perf fmt vet build test race bench bench-figs bench-diff
 
 check: fmt vet build test race
+	@$(MAKE) --no-print-directory check-perf PERF_FATAL=0
 
 # gofmt -l prints unformatted files; fail loudly if there are any.
 fmt:
@@ -43,6 +44,21 @@ bench:
 bench-diff:
 	@test -n "$(OLD)" -a -n "$(NEW)" || { echo "usage: make bench-diff OLD=old.json NEW=new.json"; exit 1; }
 	$(GO) run ./cmd/corpbench -bench-diff "$(OLD),$(NEW)"
+
+# check-perf captures a quick snapshot (kernel + engine micro-benches
+# only) and diffs it against the newest committed BENCH_*.json. Run
+# standalone it fails on DNN-kernel regressions; from `make check` it is
+# invoked with PERF_FATAL=0 so a noisy CI box warns instead of blocking.
+PERF_FATAL ?= 1
+check-perf:
+	@latest="$$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)"; \
+	if [ -z "$$latest" ]; then echo "check-perf: no committed BENCH_*.json; skipping"; exit 0; fi; \
+	tmp="$$(mktemp)"; \
+	$(GO) run ./cmd/corpbench -json -bench-quick -out "$$tmp" >/dev/null || exit 1; \
+	if $(GO) run ./cmd/corpbench -bench-diff "$$latest,$$tmp"; then rm -f "$$tmp"; \
+	elif [ "$(PERF_FATAL)" = "0" ]; then \
+		echo "check-perf: WARNING: kernel regression vs $$latest (non-fatal in make check)"; rm -f "$$tmp"; \
+	else rm -f "$$tmp"; exit 1; fi
 
 # bench-figs regenerates every figure once — the end-to-end sweep suite
 # (the old `make bench` behaviour).

@@ -8,6 +8,9 @@
 //	-fig        figure id (tableII, fig06..fig14, ablations) or "all"
 //	-seed       workload seed (default 1)
 //	-quick      small cluster and 3-point sweeps (default true)
+//	-workers    intra-run prediction-engine workers per simulation
+//	            (0 = auto from the shared budget, 1 = serial; figures
+//	            are identical at any value)
 //	-list       print the available figure ids and exit
 //	-md         render the output as a Markdown report
 //	-json       run the perf benchmark suite and write a JSON snapshot
@@ -54,6 +57,7 @@ func run(args []string, out io.Writer) error {
 	fig := fs.String("fig", "all", "figure id or \"all\"")
 	seed := fs.Int64("seed", 1, "workload seed")
 	quick := fs.Bool("quick", true, "small cluster and 3-point sweeps")
+	workers := fs.Int("workers", 0, "intra-run prediction-engine workers per simulation (0 = auto, 1 = serial)")
 	list := fs.Bool("list", false, "print the available figure ids and exit")
 	md := fs.Bool("md", false, "render the output as a Markdown report")
 	benchJSON := fs.Bool("json", false, "run the perf benchmark suite and write a JSON snapshot")
@@ -105,7 +109,7 @@ func run(args []string, out io.Writer) error {
 		return runBenchJSON(out, *benchOut, *benchQuick)
 	}
 
-	opts := corp.Options{Seed: *seed, Quick: *quick}
+	opts := corp.Options{Seed: *seed, Quick: *quick, Workers: *workers}
 	ids := []string{*fig}
 	if *fig == "all" {
 		ids = corp.FigureIDs()

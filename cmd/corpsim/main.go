@@ -20,6 +20,8 @@
 //	-mttr     mean VM repair time in slots (with -faults)
 //	-surge    per-VM per-slot resident demand-surge probability
 //	-det      deterministic virtual clock for the overhead metric
+//	-workers  intra-run prediction-engine workers (0 = auto from the
+//	          shared budget, 1 = serial; results identical either way)
 //
 // Example:
 //
@@ -65,6 +67,7 @@ func run(args []string, out *os.File) error {
 	mttr := fs.Int("mttr", 0, "mean VM repair time in slots (0 = default)")
 	surge := fs.Float64("surge", 0, "per-VM per-slot resident demand-surge probability")
 	det := fs.Bool("det", false, "deterministic virtual clock for the overhead metric")
+	workers := fs.Int("workers", 0, "intra-run prediction-engine workers (0 = auto, 1 = serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -105,6 +108,7 @@ func run(args []string, out *os.File) error {
 	if *det {
 		cfg.Clock = &sim.VirtualClock{StepMicros: 150}
 	}
+	cfg.Workers = *workers
 
 	res, err := sim.Run(cfg)
 	if err != nil {

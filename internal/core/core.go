@@ -42,6 +42,10 @@ type Config struct {
 	AllocMargin float64
 	// Seed drives deterministic initialization.
 	Seed int64
+	// Workers sizes the parallel prediction engine that shards the
+	// per-VM Observe/Refresh work; <= 1 runs serially. Grants are
+	// bit-identical at any worker count.
+	Workers int
 }
 
 // Grant is one allocation decision returned by Submit.
@@ -82,6 +86,7 @@ func NewController(cl *cluster.Cluster, cfg Config) (*Controller, error) {
 		Seed:            cfg.Seed,
 		DisablePacking:  cfg.DisablePacking,
 		CorpAllocMargin: cfg.AllocMargin,
+		Workers:         cfg.Workers,
 	}, cl)
 	if err != nil {
 		return nil, err
@@ -120,12 +125,19 @@ func (c *Controller) ObserveSlot(unused []resource.Vector) ([]Grant, error) {
 		if !u.NonNegative() {
 			return nil, fmt.Errorf("core: negative unused %v on VM %d", u, v)
 		}
-		if c.down[v] {
-			// A failed VM produces no telemetry; its predictor state stays
-			// frozen until recovery.
-			continue
+	}
+	if bo, ok := c.sched.(scheduler.BatchObserver); ok {
+		// The engine fans the per-VM predictor updates across its
+		// workers; down VMs produce no telemetry and their predictor
+		// state stays frozen until recovery.
+		bo.ObserveAll(unused, c.down)
+	} else {
+		for v, u := range unused {
+			if c.down[v] {
+				continue
+			}
+			c.sched.Observe(v, u)
 		}
-		c.sched.Observe(v, u)
 	}
 	if c.slot%c.window == 0 {
 		c.sched.Refresh()
@@ -336,7 +348,9 @@ func (c *Controller) VMUp(v int) error {
 // VMIsDown reports whether VM v is currently marked failed.
 func (c *Controller) VMIsDown(v int) bool { return c.down[v] }
 
-// DrainOutcomes exposes matured prediction errors for monitoring.
+// DrainOutcomes exposes matured prediction errors for monitoring. The
+// returned slice is a reused buffer, valid until the next DrainOutcomes
+// call; callers that retain samples must copy them out.
 func (c *Controller) DrainOutcomes() []predict.ErrorSample {
 	return c.sched.DrainOutcomes()
 }

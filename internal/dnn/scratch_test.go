@@ -1,0 +1,91 @@
+package dnn
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestForwardIntoMatchesForward pins bit-identity between the shared-
+// scratch Forward and the caller-scratch ForwardInto across many inputs.
+func TestForwardIntoMatchesForward(t *testing.T) {
+	net, err := New(Config{LayerSizes: []int{12, 50, 50, 1}, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := net.NewFwdScratch()
+	in := make([]float64, 12)
+	for trial := 0; trial < 25; trial++ {
+		for i := range in {
+			in[i] = float64((trial*31+i*7)%97) / 97
+		}
+		want, err := net.Forward(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantY := want[0]
+		got, err := net.ForwardInto(s, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != wantY {
+			t.Fatalf("trial %d: ForwardInto %v != Forward %v", trial, got[0], wantY)
+		}
+	}
+}
+
+// TestForwardIntoConcurrent evaluates one network from many goroutines,
+// each with its own scratch — the engine's Refresh pattern. Run under
+// -race this pins the read-only weight sharing.
+func TestForwardIntoConcurrent(t *testing.T) {
+	net, err := New(Config{LayerSizes: []int{8, 20, 1}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := make([]float64, 8)
+	for i := range in {
+		in[i] = float64(i) / 8
+	}
+	want, err := net.Forward(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantY := want[0]
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := net.NewFwdScratch()
+			for i := 0; i < 50; i++ {
+				out, err := net.ForwardInto(s, in)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if out[0] != wantY {
+					t.Errorf("concurrent ForwardInto %v != %v", out[0], wantY)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestForwardIntoValidates rejects mismatched inputs and scratch.
+func TestForwardIntoValidates(t *testing.T) {
+	a, _ := New(Config{LayerSizes: []int{4, 6, 1}, Seed: 1})
+	b, _ := New(Config{LayerSizes: []int{4, 7, 1}, Seed: 1})
+	s := a.NewFwdScratch()
+	if _, err := a.ForwardInto(s, make([]float64, 3)); err == nil {
+		t.Error("wrong input size accepted")
+	}
+	if _, err := b.ForwardInto(s, make([]float64, 4)); err == nil {
+		t.Error("mismatched scratch topology accepted")
+	}
+	// Same-topology sibling networks share a scratch fine.
+	c, _ := New(Config{LayerSizes: []int{4, 6, 1}, Seed: 9})
+	if _, err := c.ForwardInto(s, make([]float64, 4)); err != nil {
+		t.Errorf("same-topology scratch rejected: %v", err)
+	}
+}

@@ -38,6 +38,10 @@ type Options struct {
 	// Quick shrinks the cluster and the sweep for fast test/bench runs;
 	// full runs reproduce the paper's scale (Table II).
 	Quick bool
+	// Workers sets each run's intra-run prediction-engine worker count
+	// (sim.Config.Workers): 0 claims from the shared budget, 1 is serial.
+	// Figures are identical at any value; only wall time changes.
+	Workers int
 }
 
 // jobCounts returns the Fig. 6/7/11 x-axis: 50–300 jobs step 50 (paper),
@@ -136,6 +140,7 @@ func (o Options) baseConfig(sc scheduler.Scheme, jobs int) sim.Config {
 			Scheme: sc,
 			Seed:   o.Seed,
 		},
+		Workers: o.Workers,
 	}
 	// Fleet runs feed the shared DNN from every VM each slot; a light
 	// replay factor keeps accuracy without quadratic training cost.

@@ -21,6 +21,8 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/predict"
 	"repro/internal/resource"
+	"repro/internal/scheduler"
+	"repro/internal/sim"
 )
 
 // Result is one benchmark's measurement.
@@ -34,10 +36,14 @@ type Result struct {
 
 // Snapshot is one BENCH_<date>.json file.
 type Snapshot struct {
-	Date      string   `json:"date"`
-	GoVersion string   `json:"go_version"`
-	GOARCH    string   `json:"goarch"`
-	Results   []Result `json:"results"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOARCH    string `json:"goarch"`
+	// MaxProcs records GOMAXPROCS at capture time: the scale/* and
+	// engine/* -wmax entries are only meaningful relative to it (on a
+	// single-core machine they necessarily match the -w1 entries).
+	MaxProcs int      `json:"max_procs,omitempty"`
+	Results  []Result `json:"results"`
 }
 
 // kernelPrefix marks the benches gated by Diff: the DNN compute kernels,
@@ -60,19 +66,34 @@ func tableIINet(seed int64) (*dnn.Network, []float64, []float64) {
 }
 
 // Suite runs every tracked benchmark and returns a snapshot (Date is left
-// for the caller to stamp). quick shrinks nothing today — the kernel
-// benches are sub-second — but skips the end-to-end figure bench, which
-// dominates wall time.
+// for the caller to stamp). quick keeps the kernel and engine
+// micro-benches — they are sub-second — but skips the end-to-end benches
+// (the figure run and the scale-profile single runs), which dominate wall
+// time.
 func Suite(quick bool) Snapshot {
-	snap := Snapshot{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH}
+	snap := Snapshot{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH, MaxProcs: runtime.GOMAXPROCS(0)}
 	add := func(name string, fn func(b *testing.B)) {
-		r := testing.Benchmark(fn)
+		// Micro-benches (everything but the end-to-end figure and scale
+		// runs) take best-of-3: scheduling noise on shared machines is
+		// one-sided, so the min is the robust estimator and keeps the
+		// 10% Diff gate from tripping on a noisy-neighbor sample.
+		reps := 3
+		if strings.HasPrefix(name, "figure/") || strings.HasPrefix(name, "scale/") {
+			reps = 1
+		}
+		var best testing.BenchmarkResult
+		for i := 0; i < reps; i++ {
+			r := testing.Benchmark(fn)
+			if i == 0 || r.T.Nanoseconds()*int64(best.N) < best.T.Nanoseconds()*int64(r.N) {
+				best = r
+			}
+		}
 		snap.Results = append(snap.Results, Result{
 			Name:        name,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Iterations:  r.N,
+			NsPerOp:     float64(best.T.Nanoseconds()) / float64(best.N),
+			AllocsPerOp: best.AllocsPerOp(),
+			BytesPerOp:  best.AllocedBytesPerOp(),
+			Iterations:  best.N,
 		})
 	}
 
@@ -132,6 +153,36 @@ func Suite(quick bool) Snapshot {
 			p.Observe(resource.Vector{4, 8, 50})
 		}
 	})
+	// Engine micro-benches: one slot's Observe fan-out and one window's
+	// Refresh pass over a 200-VM CORP fleet, serial vs all cores. The
+	// fleet shapes mirror the scale profile so the scale/* end-to-end
+	// entries decompose into these.
+	for _, eng := range []struct {
+		suffix  string
+		workers int
+	}{{"w1", 1}, {"wmax", runtime.GOMAXPROCS(0)}} {
+		eng := eng
+		add("engine/observe-fleet200-"+eng.suffix, func(b *testing.B) {
+			bo, _, unused := engineFleet(b, eng.workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bo.ObserveAll(unused, nil)
+			}
+		})
+		add("engine/refresh-fleet200-"+eng.suffix, func(b *testing.B) {
+			bo, sched, unused := engineFleet(b, eng.workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// Each Refresh needs fresh observations or the dirty-skip
+				// makes later iterations free; feed them off the timer.
+				b.StopTimer()
+				bo.ObserveAll(unused, nil)
+				b.StartTimer()
+				sched.Refresh()
+			}
+		})
+	}
 	if !quick {
 		add("figure/fig06-quick", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
@@ -142,8 +193,66 @@ func Suite(quick bool) Snapshot {
 				}
 			}
 		})
+		// Scale-profile single runs: the tentpole's headline number. The
+		// w1/wmax pair shows the intra-run engine's wall-time speedup at
+		// this snapshot's MaxProcs (identical figures by construction —
+		// see TestRunWorkerCountEquivalence).
+		for _, eng := range []struct {
+			suffix  string
+			workers int
+		}{{"w1", 1}, {"wmax", runtime.GOMAXPROCS(0)}} {
+			eng := eng
+			add("scale/sim-200vm-corp-"+eng.suffix, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(scaleConfig(eng.workers)); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 	return snap
+}
+
+// scaleConfig is the ≥200-VM single-run profile the scale/* benches time.
+func scaleConfig(workers int) sim.Config {
+	return sim.Config{
+		NumPMs: 50, NumVMs: 200, NumJobs: 200, Seed: 1,
+		Warmup: 60, ArrivalSpan: 40, Drain: 80,
+		Scheduler: scheduler.Config{Scheme: scheduler.CORP, Seed: 1},
+		Clock:     &sim.VirtualClock{StepMicros: 50},
+		Workers:   workers,
+	}
+}
+
+// engineFleet builds a 200-VM CORP scheduler with a warmed predictor
+// fleet plus a plausible unused-telemetry slot for the engine benches.
+func engineFleet(b *testing.B, workers int) (scheduler.BatchObserver, scheduler.Scheduler, []resource.Vector) {
+	b.Helper()
+	cl, err := cluster.New(cluster.Config{Profile: cluster.ProfileCluster, NumPMs: 50, NumVMs: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := scheduler.New(scheduler.Config{Scheme: scheduler.CORP, Seed: 1, Workers: workers}, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bo, ok := sched.(scheduler.BatchObserver)
+	if !ok {
+		b.Fatal("CORP scheduler does not implement BatchObserver")
+	}
+	unused := make([]resource.Vector, len(cl.VMs))
+	for v := range unused {
+		c := cl.VMs[v].Capacity
+		f := 0.3 + 0.4*float64(v%7)/7
+		unused[v] = resource.Vector{c[0] * f, c[1] * f * 0.9, c[2] * f * 0.7}
+	}
+	// Warm the fleet past the cold-start threshold so every timed
+	// iteration exercises the full train/predict path.
+	for i := 0; i < 32; i++ {
+		bo.ObserveAll(unused, nil)
+	}
+	return bo, sched, unused
 }
 
 // WriteJSON writes the snapshot with stable formatting.

@@ -114,6 +114,11 @@ func (p *RCCRPredictor) DrainOutcomes() []ErrorSample {
 	return p.track.drainOutcomes()
 }
 
+// AppendOutcomes implements OutcomeAppender.
+func (p *RCCRPredictor) AppendOutcomes(dst []ErrorSample) []ErrorSample {
+	return p.track.appendOutcomes(dst)
+}
+
 // CloudScaleConfig parameterizes the CloudScale baseline predictor.
 type CloudScaleConfig struct {
 	// Window is L; zero defaults to 6.
@@ -279,6 +284,11 @@ func (p *CloudScalePredictor) DrainOutcomes() []ErrorSample {
 	return p.track.drainOutcomes()
 }
 
+// AppendOutcomes implements OutcomeAppender.
+func (p *CloudScalePredictor) AppendOutcomes(dst []ErrorSample) []ErrorSample {
+	return p.track.appendOutcomes(dst)
+}
+
 // DRAConfig parameterizes the DRA baseline estimator.
 type DRAConfig struct {
 	// Window is L; zero defaults to 6.
@@ -351,6 +361,11 @@ func (p *DRAPredictor) DrainOutcomes() []ErrorSample {
 	return p.track.drainOutcomes()
 }
 
+// AppendOutcomes implements OutcomeAppender.
+func (p *DRAPredictor) AppendOutcomes(dst []ErrorSample) []ErrorSample {
+	return p.track.appendOutcomes(dst)
+}
+
 // OraclePredictor returns the true future mean unused resource — an upper
 // bound no real scheme can reach. The simulator wires the actual per-slot
 // series in via SetFuture; the experiment harness uses the oracle to
@@ -409,4 +424,9 @@ func (p *OraclePredictor) Predict() Prediction {
 // DrainOutcomes implements Predictor.
 func (p *OraclePredictor) DrainOutcomes() []ErrorSample {
 	return p.track.drainOutcomes()
+}
+
+// AppendOutcomes implements OutcomeAppender.
+func (p *OraclePredictor) AppendOutcomes(dst []ErrorSample) []ErrorSample {
+	return p.track.appendOutcomes(dst)
 }

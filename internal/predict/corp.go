@@ -90,47 +90,56 @@ func (c CorpConfig) withDefaults() CorpConfig {
 	return c
 }
 
+// brainKind is one resource kind's complete training state: its network,
+// replay ring, batch-assembly buffers, replay RNG, and counters. Kinds
+// share nothing, so the engine's shared training phase can run the kinds
+// concurrently (each kind's stream still serialized in VM order) without
+// changing any figure.
+type brainKind struct {
+	net       *dnn.Network
+	rng       *rand.Rand
+	replayIn  []float64 // ring slab: replayCap rows × InputSlots
+	replayTgt []float64 // ring slab: replayCap targets
+	replayLen int
+	replayPos int
+	batchIn   []float64 // (1+ReplaySteps) rows × InputSlots
+	batchTgt  []float64 // (1+ReplaySteps) targets
+	// steps counts SGD updates; errs counts rejected online training
+	// calls (malformed samples) so a broken feed cannot masquerade as a
+	// trained predictor.
+	steps int
+	errs  int
+}
+
 // CorpBrain is the per-kind DNN shared by every VM's CORP predictor: all
 // VMs feed training samples into the same networks, mirroring the paper's
-// single model trained on the whole trace. Not safe for concurrent use.
-// Each incoming sample is also pushed into a replay ring; every online
-// step additionally replays a few past samples, approximating the paper's
-// multi-epoch training loop without buffering the whole trace.
+// single model trained on the whole trace. Each resource kind's state is
+// fully independent (own network, replay ring, RNG), so distinct kinds may
+// train concurrently; within a kind, calls must stay serialized in a fixed
+// VM order for reproducibility. Each incoming sample is also pushed into
+// the kind's replay ring; every online step additionally replays a few
+// past samples, approximating the paper's multi-epoch training loop
+// without buffering the whole trace.
 //
 // The rings are flat row-major slabs (row stride = InputSlots) and each
 // online step assembles the new sample plus its replay picks into a
 // preallocated batch fed to dnn.TrainBatch, so the per-slot training path
 // performs no heap allocations.
 type CorpBrain struct {
-	cfg  CorpConfig
-	nets [resource.NumKinds]*dnn.Network
-	// trainSteps counts SGD updates, exposed for overhead accounting.
-	trainSteps int
-	// trainErrors counts rejected online training calls (malformed
-	// samples); surfaced via TrainErrors so a broken feed cannot
-	// masquerade as a trained predictor.
-	trainErrors int
-
-	replayIn  [resource.NumKinds][]float64 // ring slab: replayCap rows × InputSlots
-	replayTgt [resource.NumKinds][]float64 // ring slab: replayCap targets
-	replayLen [resource.NumKinds]int
-	replayPos [resource.NumKinds]int
-
-	batchIn  []float64 // (1+ReplaySteps) rows × InputSlots
-	batchTgt []float64 // (1+ReplaySteps) targets
-	rng      *rand.Rand
+	cfg   CorpConfig
+	kinds [resource.NumKinds]brainKind
 }
 
 // NewCorpBrain builds the shared networks.
 func NewCorpBrain(cfg CorpConfig) (*CorpBrain, error) {
 	cfg = cfg.withDefaults()
-	b := &CorpBrain{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed ^ 0x7ab))}
+	b := &CorpBrain{cfg: cfg}
 	sizes := []int{cfg.InputSlots}
 	for i := 0; i < cfg.HiddenLayers; i++ {
 		sizes = append(sizes, cfg.UnitsPerLayer)
 	}
 	sizes = append(sizes, 1)
-	for k := range b.nets {
+	for k := range b.kinds {
 		net, err := dnn.New(dnn.Config{
 			LayerSizes:   sizes,
 			LearningRate: cfg.LearningRate,
@@ -139,20 +148,36 @@ func NewCorpBrain(cfg CorpConfig) (*CorpBrain, error) {
 		if err != nil {
 			return nil, fmt.Errorf("predict: corp brain: %w", err)
 		}
-		b.nets[k] = net
-		b.replayIn[k] = make([]float64, replayCap*cfg.InputSlots)
-		b.replayTgt[k] = make([]float64, replayCap)
+		kk := &b.kinds[k]
+		kk.net = net
+		kk.rng = rand.New(rand.NewSource((cfg.Seed ^ 0x7ab) + int64(k)*0x5851F42D4C957F2D))
+		kk.replayIn = make([]float64, replayCap*cfg.InputSlots)
+		kk.replayTgt = make([]float64, replayCap)
+		kk.batchIn = make([]float64, (1+cfg.ReplaySteps)*cfg.InputSlots)
+		kk.batchTgt = make([]float64, 1+cfg.ReplaySteps)
 	}
-	b.batchIn = make([]float64, (1+cfg.ReplaySteps)*cfg.InputSlots)
-	b.batchTgt = make([]float64, 1+cfg.ReplaySteps)
 	return b, nil
 }
 
-// TrainSteps returns the number of SGD updates performed so far.
-func (b *CorpBrain) TrainSteps() int { return b.trainSteps }
+// TrainSteps returns the number of SGD updates performed so far, summed
+// over resource kinds.
+func (b *CorpBrain) TrainSteps() int {
+	n := 0
+	for k := range b.kinds {
+		n += b.kinds[k].steps
+	}
+	return n
+}
 
-// TrainErrors returns how many online training calls were rejected.
-func (b *CorpBrain) TrainErrors() int { return b.trainErrors }
+// TrainErrors returns how many online training calls were rejected,
+// summed over resource kinds.
+func (b *CorpBrain) TrainErrors() int {
+	n := 0
+	for k := range b.kinds {
+		n += b.kinds[k].errs
+	}
+	return n
+}
 
 // replayCap bounds the per-kind replay ring.
 const replayCap = 4096
@@ -161,53 +186,80 @@ const replayCap = 4096
 // few replayed past samples, all in a single TrainBatch call. The batch is
 // assembled in the order the original per-sample loop trained (new sample
 // first, then each replay pick as drawn), so results are bit-identical to
-// sequential TrainSample calls.
+// sequential TrainSample calls. Touches only kind k's state; concurrent
+// calls for distinct kinds are safe.
 func (b *CorpBrain) train(k resource.Kind, input []float64, target float64) error {
 	in := b.cfg.InputSlots
+	kk := &b.kinds[k]
 	if len(input) != in {
-		b.trainErrors++
+		kk.errs++
 		return fmt.Errorf("predict: train kind %v: input length %d, want %d", k, len(input), in)
 	}
-	copy(b.batchIn[:in], input)
-	b.batchTgt[0] = target
+	copy(kk.batchIn[:in], input)
+	kk.batchTgt[0] = target
 	// Push the new sample into the ring (it is eligible for its own
 	// replay draw, as before).
-	ring := b.replayIn[k]
+	ring := kk.replayIn
 	var pos int
-	if b.replayLen[k] < replayCap {
-		pos = b.replayLen[k]
-		b.replayLen[k]++
+	if kk.replayLen < replayCap {
+		pos = kk.replayLen
+		kk.replayLen++
 	} else {
-		pos = b.replayPos[k]
-		b.replayPos[k] = (b.replayPos[k] + 1) % replayCap
+		pos = kk.replayPos
+		kk.replayPos = (kk.replayPos + 1) % replayCap
 	}
 	copy(ring[pos*in:(pos+1)*in], input)
-	b.replayTgt[k][pos] = target
+	kk.replayTgt[pos] = target
 	count := 1
-	for i := 0; i < b.cfg.ReplaySteps && b.replayLen[k] > 1; i++ {
-		s := b.rng.Intn(b.replayLen[k])
-		copy(b.batchIn[count*in:(count+1)*in], ring[s*in:(s+1)*in])
-		b.batchTgt[count] = b.replayTgt[k][s]
+	for i := 0; i < b.cfg.ReplaySteps && kk.replayLen > 1; i++ {
+		s := kk.rng.Intn(kk.replayLen)
+		copy(kk.batchIn[count*in:(count+1)*in], ring[s*in:(s+1)*in])
+		kk.batchTgt[count] = kk.replayTgt[s]
 		count++
 	}
-	if _, err := b.nets[k].TrainBatch(b.batchIn[:count*in], b.batchTgt[:count]); err != nil {
-		b.trainErrors++
+	if _, err := kk.net.TrainBatch(kk.batchIn[:count*in], kk.batchTgt[:count]); err != nil {
+		kk.errs++
 		return err
 	}
-	b.trainSteps += count
+	kk.steps += count
 	return nil
 }
 
-// forward evaluates the kind-k network.
+// forward evaluates the kind-k network into its own scratch. Not safe for
+// concurrent use; the engine's parallel Refresh goes through forwardInto.
 func (b *CorpBrain) forward(k resource.Kind, input []float64) (float64, error) {
-	out, err := b.nets[k].Forward(input)
+	out, err := b.kinds[k].net.Forward(input)
 	if err != nil {
 		return 0, err
 	}
 	return out[0], nil
 }
 
+// forwardInto evaluates the kind-k network into caller-owned scratch,
+// bit-identical to forward. With weights read-only (no concurrent train),
+// any number of goroutines may call this with distinct scratch.
+func (b *CorpBrain) forwardInto(k resource.Kind, s *dnn.FwdScratch, input []float64) (float64, error) {
+	out, err := b.kinds[k].net.ForwardInto(s, input)
+	if err != nil {
+		return 0, err
+	}
+	return out[0], nil
+}
+
+// newFwdScratch returns forward scratch sized for the brain's networks
+// (all kinds share one topology, so one scratch serves every kind).
+func (b *CorpBrain) newFwdScratch() *dnn.FwdScratch {
+	return b.kinds[0].net.NewFwdScratch()
+}
+
 // CorpPredictor is one VM's CORP prediction pipeline.
+//
+// Observe splits into two phases for the parallel engine: ObserveLocal
+// touches only this predictor's state (tracker plus staged training
+// samples) and may run concurrently across VMs; FlushShared feeds the
+// staged sample for one kind into the shared brain and must run in a fixed
+// VM order per kind. Observe performs both phases, so serial callers see
+// unchanged semantics.
 type CorpPredictor struct {
 	cfg   CorpConfig
 	brain *CorpBrain
@@ -216,6 +268,13 @@ type CorpPredictor struct {
 	hmms        [resource.NumKinds]*hmm.Model
 	predictions int
 	scratch     []float64
+	fwd         *dnn.FwdScratch
+
+	// Staged training samples from the last ObserveLocal, one per kind,
+	// waiting for FlushShared to feed them to the brain.
+	stageIn  [resource.NumKinds][]float64
+	stageTgt [resource.NumKinds]float64
+	stageOK  [resource.NumKinds]bool
 
 	// HMM trust tracking: each window the previous symbol prediction is
 	// scored against the realized band; the correction only fires while
@@ -235,6 +294,10 @@ func NewCorpPredictor(brain *CorpBrain, capacity resource.Vector, seed int64) *C
 		brain:   brain,
 		track:   newTracker(cfg.Window, cfg.HistoryLen, capacity),
 		scratch: make([]float64, cfg.InputSlots),
+		fwd:     brain.newFwdScratch(),
+	}
+	for k := range p.stageIn {
+		p.stageIn[k] = make([]float64, cfg.InputSlots)
 	}
 	for k := range p.hmms {
 		p.hmms[k] = hmm.NewPaperModel(seed + int64(k))
@@ -249,9 +312,21 @@ func (p *CorpPredictor) Name() string { return "CORP" }
 // online SGD step per kind once enough history exists (input: the Δ slots
 // preceding the last window; target: the realized mean of that window).
 func (p *CorpPredictor) Observe(actual resource.Vector) {
+	p.ObserveLocal(actual)
+	for _, k := range resource.Kinds() {
+		p.FlushShared(k)
+	}
+}
+
+// ObserveLocal implements Sharded: the VM-local half of Observe. It
+// records the sample in the tracker and stages one training sample per
+// kind (once enough history exists) without touching the shared brain, so
+// concurrent calls on distinct predictors are safe.
+func (p *CorpPredictor) ObserveLocal(actual resource.Vector) {
 	p.track.observe(actual)
 	need := p.cfg.InputSlots + p.cfg.Window
 	for _, k := range resource.Kinds() {
+		p.stageOK[k] = false
 		vals := p.track.histValues(k)
 		if len(vals) < need {
 			continue
@@ -264,21 +339,33 @@ func (p *CorpPredictor) Observe(actual resource.Vector) {
 		// window that just completed.
 		inStart := len(vals) - need
 		for i := 0; i < p.cfg.InputSlots; i++ {
-			p.scratch[i] = clamp01(vals[inStart+i] / capK)
+			p.stageIn[k][i] = clamp01(vals[inStart+i] / capK)
 		}
-		target := clamp01(stats.Mean(vals[len(vals)-p.cfg.Window:]) / capK)
-		// Observe has no error channel (the Predictor interface treats
-		// observation as fire-and-forget), but rejected samples are
-		// counted by the brain and surfaced via TrainErrors/sim.Result so
-		// a broken feed cannot silently disable learning.
-		_ = p.brain.train(k, p.scratch, target)
+		p.stageTgt[k] = clamp01(stats.Mean(vals[len(vals)-p.cfg.Window:]) / capK)
+		p.stageOK[k] = true
 	}
+}
+
+// FlushShared implements Sharded: feeds the staged kind-k sample (if any)
+// into the shared brain. Callers must serialize calls for the same kind in
+// a fixed VM order; calls for distinct kinds may run concurrently because
+// the brain's per-kind state is independent.
+func (p *CorpPredictor) FlushShared(k resource.Kind) {
+	if !p.stageOK[k] {
+		return
+	}
+	p.stageOK[k] = false
+	// Observe has no error channel (the Predictor interface treats
+	// observation as fire-and-forget), but rejected samples are counted
+	// by the brain and surfaced via TrainErrors/sim.Result so a broken
+	// feed cannot silently disable learning.
+	_ = p.brain.train(k, p.stageIn[k], p.stageTgt[k])
 }
 
 // TrainErrors returns how many of this predictor's training samples the
 // shared brain rejected. The count is brain-wide (shared across the VMs
 // feeding it), matching how TrainSteps is accounted.
-func (p *CorpPredictor) TrainErrors() int { return p.brain.trainErrors }
+func (p *CorpPredictor) TrainErrors() int { return p.brain.TrainErrors() }
 
 // Predict implements Predictor: DNN estimate, HMM peak/valley correction,
 // confidence-interval adjustment, Eq. 21 gate.
@@ -298,7 +385,7 @@ func (p *CorpPredictor) Predict() Prediction {
 			for i := 0; i < p.cfg.InputSlots; i++ {
 				p.scratch[i] = clamp01(vals[len(vals)-p.cfg.InputSlots+i] / capK)
 			}
-			norm, err := p.brain.forward(k, p.scratch)
+			norm, err := p.brain.forwardInto(k, p.fwd, p.scratch)
 			if err != nil {
 				norm = clamp01(stats.Mean(vals) / capK)
 			}
@@ -386,6 +473,13 @@ func (p *CorpPredictor) DrainOutcomes() []ErrorSample {
 	return p.track.drainOutcomes()
 }
 
+// AppendOutcomes implements OutcomeAppender: it appends the matured
+// samples to dst and clears them while keeping the internal buffer's
+// capacity for reuse.
+func (p *CorpPredictor) AppendOutcomes(dst []ErrorSample) []ErrorSample {
+	return p.track.appendOutcomes(dst)
+}
+
 func clamp01(x float64) float64 {
 	if x < 0 {
 		return 0
@@ -400,7 +494,7 @@ func clamp01(x float64) float64 {
 // train → save → deploy split (pair with PretrainBrain and Load).
 func (b *CorpBrain) Save(w io.Writer) error {
 	for _, k := range resource.Kinds() {
-		if err := b.nets[k].Save(w); err != nil {
+		if err := b.kinds[k].net.Save(w); err != nil {
 			return fmt.Errorf("predict: save kind %v: %w", k, err)
 		}
 	}
@@ -420,7 +514,7 @@ func LoadCorpBrain(cfg CorpConfig, r io.Reader) (*CorpBrain, error) {
 		if err != nil {
 			return nil, fmt.Errorf("predict: load kind %v: %w", k, err)
 		}
-		want := b.nets[k].LayerSizes()
+		want := b.kinds[k].net.LayerSizes()
 		got := net.LayerSizes()
 		if len(want) != len(got) {
 			return nil, fmt.Errorf("predict: kind %v topology %v, want %v", k, got, want)
@@ -430,7 +524,7 @@ func LoadCorpBrain(cfg CorpConfig, r io.Reader) (*CorpBrain, error) {
 				return nil, fmt.Errorf("predict: kind %v topology %v, want %v", k, got, want)
 			}
 		}
-		b.nets[k] = net
+		b.kinds[k].net = net
 	}
 	return b, nil
 }

@@ -82,11 +82,11 @@ func TestReplayRingWraparound(t *testing.T) {
 			t.Fatalf("call %d: %v", i, err)
 		}
 	}
-	if b.replayLen[resource.CPU] != replayCap {
-		t.Fatalf("replayLen = %d, want %d", b.replayLen[resource.CPU], replayCap)
+	if b.kinds[resource.CPU].replayLen != replayCap {
+		t.Fatalf("replayLen = %d, want %d", b.kinds[resource.CPU].replayLen, replayCap)
 	}
-	if b.replayPos[resource.CPU] != extra {
-		t.Fatalf("replayPos = %d, want %d", b.replayPos[resource.CPU], extra)
+	if b.kinds[resource.CPU].replayPos != extra {
+		t.Fatalf("replayPos = %d, want %d", b.kinds[resource.CPU].replayPos, extra)
 	}
 	// Every call trains 1 new + ReplaySteps replays once the ring has >1
 	// entries (the very first call has nothing to replay).
@@ -97,7 +97,8 @@ func TestReplayRingWraparound(t *testing.T) {
 }
 
 // TestBrainTrainDeterministic: two brains fed the same sequence must end
-// up numerically identical (the replay draws share one seeded RNG).
+// up numerically identical (each kind's replay draws come from its own
+// seeded RNG).
 func TestBrainTrainDeterministic(t *testing.T) {
 	mk := func() *CorpBrain {
 		b, err := NewCorpBrain(tinyCorpConfig(5))

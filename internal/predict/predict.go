@@ -52,6 +52,28 @@ type Predictor interface {
 	DrainOutcomes() []ErrorSample
 }
 
+// Sharded is implemented by predictors whose Observe splits into two
+// phases so a parallel engine can shard the fleet: ObserveLocal touches
+// only the predictor's own state and is safe to call concurrently on
+// distinct predictors, while FlushShared feeds the staged sample for one
+// resource kind into shared state (e.g. the common CORP brain). For a
+// given kind, FlushShared calls must be serialized in a fixed VM order so
+// the shared training stream is reproducible; calls for distinct kinds may
+// proceed concurrently. Observe must behave exactly like ObserveLocal
+// followed by FlushShared for every kind.
+type Sharded interface {
+	ObserveLocal(actual resource.Vector)
+	FlushShared(k resource.Kind)
+}
+
+// OutcomeAppender is implemented by predictors that can drain matured
+// errors into a caller-owned buffer, letting the scheduler reuse one slice
+// across the whole fleet instead of allocating per predictor. The appended
+// samples are cleared from the predictor, like DrainOutcomes.
+type OutcomeAppender interface {
+	AppendOutcomes(dst []ErrorSample) []ErrorSample
+}
+
 // ErrorSample is one matured prediction error δ = actual − predicted for
 // one resource kind (Eq. 20, evaluated at window end).
 type ErrorSample struct {
@@ -164,11 +186,21 @@ func (t *tracker) recordPrediction(v resource.Vector) {
 	t.pending = append(t.pending, pendingPred{madeAt: t.slot, value: v})
 }
 
-// drainOutcomes hands the matured samples to the caller.
+// drainOutcomes hands the matured samples to the caller. Ownership of the
+// returned slice transfers to the caller, so the internal buffer is
+// dropped rather than truncated.
 func (t *tracker) drainOutcomes() []ErrorSample {
 	out := t.matured
 	t.matured = nil
 	return out
+}
+
+// appendOutcomes appends the matured samples to dst and clears them,
+// keeping the internal buffer's capacity for the next window.
+func (t *tracker) appendOutcomes(dst []ErrorSample) []ErrorSample {
+	dst = append(dst, t.matured...)
+	t.matured = t.matured[:0]
+	return dst
 }
 
 // histValues returns the full per-kind history, oldest first. The slice

@@ -70,11 +70,11 @@ func TestCorpBrainTopologyMatchesTableII(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for k := range b.nets {
-		if got := b.nets[k].NumLayers(); got != 4 {
+	for k := range b.kinds {
+		if got := b.kinds[k].net.NumLayers(); got != 4 {
 			t.Errorf("kind %d: %d layers, want 4 (Table II)", k, got)
 		}
-		sizes := b.nets[k].LayerSizes()
+		sizes := b.kinds[k].net.LayerSizes()
 		if sizes[1] != 50 || sizes[2] != 50 {
 			t.Errorf("hidden sizes = %v, want 50 (Table II)", sizes[1:3])
 		}

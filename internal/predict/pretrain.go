@@ -83,11 +83,11 @@ func PretrainBrain(brain *CorpBrain, series [][]resource.Vector, capacities []re
 	}
 	results := make([]PretrainResult, 0, resource.NumKinds)
 	for _, k := range resource.Kinds() {
-		res, err := brain.nets[k].TrainParallel(datasets[k], opts)
+		res, err := brain.kinds[k].net.TrainParallel(datasets[k], opts)
 		if err != nil {
 			return nil, fmt.Errorf("predict: pretrain kind %v: %w", k, err)
 		}
-		brain.trainSteps += res.Epochs * len(datasets[k])
+		brain.kinds[k].steps += res.Epochs * len(datasets[k])
 		results = append(results, PretrainResult{
 			Kind:    k,
 			Epochs:  res.Epochs,

@@ -1,0 +1,131 @@
+package scheduler
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/predict"
+	"repro/internal/resource"
+)
+
+// This file is the intra-run parallel prediction engine: it shards the
+// per-VM predictor fleet across a bounded worker pool for the per-slot
+// Observe fan-out and the per-window Refresh pass. Results are written
+// positionally (b.latest[i], b.dirty[i]), and the only shared mutable
+// state — the CORP brain — is only ever touched from the ordered per-kind
+// flush phase, so any worker count yields bit-identical figures.
+
+// BatchObserver is implemented by schedulers that can ingest a whole
+// slot's observations at once, fanning the per-VM predictor updates
+// across the engine's workers. skip[i] (optional, may be nil) marks VMs
+// whose sample must not be fed this slot (e.g. down VMs); semantics are
+// identical to calling Observe(i, actualUnused[i]) for every non-skipped
+// VM in ascending order.
+type BatchObserver interface {
+	ObserveAll(actualUnused []resource.Vector, skip []bool)
+}
+
+// observeChunk is how many consecutive indices one work-stealing grab
+// covers: large enough to amortize the atomic, small enough to balance
+// uneven per-VM costs (HMM refits, signature refreshes).
+const observeChunk = 4
+
+// parallelFor runs fn(i) for i in [0, n) on up to `workers` goroutines,
+// handing out index chunks through an atomic cursor. With workers <= 1 it
+// degrades to a plain loop. fn must only write state owned by index i;
+// the engine relies on that for order-independent results.
+func parallelFor(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(observeChunk)) - observeChunk
+				if start >= n {
+					return
+				}
+				end := start + observeChunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// initEngine wires the parallel engine after the per-VM predictors exist:
+// it caches the Sharded/OutcomeAppender views of each predictor (so the
+// hot loops skip per-call type assertions) and allocates the dirty bits.
+// All VMs start dirty so the first Refresh predicts everywhere.
+func (b *base) initEngine(workers int) {
+	b.workers = workers
+	b.dirty = make([]bool, len(b.preds))
+	b.sharded = make([]predict.Sharded, len(b.preds))
+	b.appenders = make([]predict.OutcomeAppender, len(b.preds))
+	anySharded := false
+	for i, p := range b.preds {
+		b.dirty[i] = true
+		if s, ok := p.(predict.Sharded); ok {
+			b.sharded[i] = s
+			anySharded = true
+		}
+		if a, ok := p.(predict.OutcomeAppender); ok {
+			b.appenders[i] = a
+		}
+	}
+	b.anySharded = anySharded
+}
+
+// ObserveAll implements BatchObserver. The work splits into two phases:
+// a VM-local phase (tracker updates plus staged training samples) that
+// runs concurrently because each predictor's state is disjoint, and a
+// shared phase that feeds staged samples into shared state (the CORP
+// brain) — sharded per resource kind, each kind's stream serialized in
+// ascending VM order. Both phases visit VMs positionally, so the result
+// is bit-identical to serial per-VM Observe calls at any worker count.
+func (b *base) ObserveAll(actualUnused []resource.Vector, skip []bool) {
+	n := len(b.preds)
+	parallelFor(b.workers, n, func(i int) {
+		if skip != nil && skip[i] {
+			return
+		}
+		b.dirty[i] = true
+		if s := b.sharded[i]; s != nil {
+			s.ObserveLocal(actualUnused[i])
+		} else {
+			b.preds[i].Observe(actualUnused[i])
+		}
+	})
+	if !b.anySharded {
+		return
+	}
+	parallelFor(b.workers, resource.NumKinds, func(k int) {
+		kind := resource.Kind(k)
+		for i := 0; i < n; i++ {
+			if skip != nil && skip[i] {
+				continue
+			}
+			if s := b.sharded[i]; s != nil {
+				s.FlushShared(kind)
+			}
+		}
+	})
+}

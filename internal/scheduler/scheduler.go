@@ -114,6 +114,12 @@ type Config struct {
 	// defaults to 2 (the paper packs pairs). Values above 2 exercise the
 	// k-way extension.
 	CorpPackK int
+
+	// Workers sizes the intra-run prediction engine: how many goroutines
+	// shard the per-VM Observe fan-out and the per-window Refresh pass.
+	// Values <= 1 run serially. Results are bit-identical at any worker
+	// count; Workers affects wall time only.
+	Workers int
 }
 
 // VMView is the simulator's per-VM state snapshot handed to Place: what
@@ -159,12 +165,27 @@ type Scheduler interface {
 	// queued.
 	Place(jobs []*job.Job, views []VMView) []Placement
 	// DrainOutcomes returns matured prediction errors across all VMs
-	// (for the Fig. 6 harness).
+	// (for the Fig. 6 harness). The returned slice may be a reused
+	// buffer, valid only until the next DrainOutcomes call; callers that
+	// retain samples must copy them out.
 	DrainOutcomes() []predict.ErrorSample
 }
 
 // New builds the scheduler for the scheme over the given cluster.
 func New(cfg Config, cl *cluster.Cluster) (Scheduler, error) {
+	s, err := build(cfg, cl)
+	if err != nil {
+		return nil, err
+	}
+	// Every scheme embeds base; wire its parallel prediction engine now
+	// that the per-VM predictors exist.
+	if eng, ok := s.(interface{ initEngine(workers int) }); ok {
+		eng.initEngine(cfg.Workers)
+	}
+	return s, nil
+}
+
+func build(cfg Config, cl *cluster.Cluster) (Scheduler, error) {
 	caps := make([]resource.Vector, len(cl.VMs))
 	for i, vm := range cl.VMs {
 		caps[i] = vm.Capacity
@@ -328,6 +349,23 @@ type base struct {
 	preds  []predict.Predictor
 	latest []predict.Prediction
 	tight  float64
+
+	// Parallel prediction engine state (see engine.go). dirty[i] is set
+	// when VM i has seen a new observation since its last Predict, so
+	// Refresh can skip VMs with nothing new (down VMs keep their last
+	// forecast). sharded/appenders cache optional-interface views of the
+	// predictors; drainBuf is the reused DrainOutcomes output.
+	workers    int
+	dirty      []bool
+	sharded    []predict.Sharded
+	appenders  []predict.OutcomeAppender
+	anySharded bool
+	drainBuf   []predict.ErrorSample
+
+	// Reused per-Place pool copies (oppPool/freshPool) so placement does
+	// not reallocate them every slot.
+	oppPool   []resource.Vector
+	freshPool []resource.Vector
 }
 
 func (b *base) Window() int { return b.window }
@@ -336,21 +374,61 @@ func (b *base) Window() int { return b.window }
 func (b *base) predictors() []predict.Predictor { return b.preds }
 
 func (b *base) Observe(vm int, actualUnused resource.Vector) {
+	if b.dirty != nil {
+		b.dirty[vm] = true
+	}
 	b.preds[vm].Observe(actualUnused)
 }
 
+// Refresh recomputes the per-VM forecasts, fanning the fleet across the
+// engine's workers. Each worker writes only b.latest[i]/b.dirty[i] for
+// the indices it grabbed, so the merged result is positional and
+// bit-identical at any worker count. VMs with no observation since their
+// last Predict (down VMs under fault injection) are skipped and keep
+// their previous forecast.
 func (b *base) Refresh() {
-	for i, p := range b.preds {
-		b.latest[i] = p.Predict()
-	}
+	parallelFor(b.workers, len(b.preds), func(i int) {
+		if b.dirty != nil {
+			if !b.dirty[i] {
+				return
+			}
+			b.dirty[i] = false
+		}
+		b.latest[i] = b.preds[i].Predict()
+	})
 }
 
+// DrainOutcomes gathers matured prediction errors across all VMs into one
+// reused buffer. The returned slice is valid until the next DrainOutcomes
+// call; callers that retain samples must copy them out.
 func (b *base) DrainOutcomes() []predict.ErrorSample {
-	var out []predict.ErrorSample
-	for _, p := range b.preds {
-		out = append(out, p.DrainOutcomes()...)
+	out := b.drainBuf[:0]
+	for i, p := range b.preds {
+		if b.appenders != nil && b.appenders[i] != nil {
+			out = b.appenders[i].AppendOutcomes(out)
+		} else {
+			out = append(out, p.DrainOutcomes()...)
+		}
 	}
+	b.drainBuf = out
 	return out
+}
+
+// pools copies the per-VM opportunistic and fresh headroom into reused
+// buffers so one Place call can consume them consistently across
+// entities without reallocating every slot.
+func (b *base) pools(views []VMView) (opp, fresh []resource.Vector) {
+	if cap(b.oppPool) < len(views) {
+		b.oppPool = make([]resource.Vector, len(views))
+		b.freshPool = make([]resource.Vector, len(views))
+	}
+	opp = b.oppPool[:len(views)]
+	fresh = b.freshPool[:len(views)]
+	for i, v := range views {
+		opp[i] = b.oppAvailable(i, v)
+		fresh[i] = v.FreshAvailable
+	}
+	return opp, fresh
 }
 
 // oppAvailable returns what the prediction still offers on VM i after the
@@ -382,6 +460,16 @@ type corpScheduler struct {
 	// brain is the shared online DNN (nil for the oracle variant, which
 	// reuses this scheduler without learned predictions).
 	brain *predict.CorpBrain
+
+	// Reused candidate buffers: the eligible-VM sets are fixed for the
+	// duration of one Place call (Down/Unlocked only change between
+	// slots), so they are built once per call and only the chosen VM's
+	// Available entry is updated after each placement. oppIdx/freshIdx
+	// map VM index → candidate position (-1 when ineligible).
+	oppCands   []packing.Candidate
+	freshCands []packing.Candidate
+	oppIdx     []int
+	freshIdx   []int
 }
 
 // TrainErrors reports how many online DNN training samples the shared
@@ -426,11 +514,29 @@ func (s *corpScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 	}
 	// Local copies of the evolving pools so one Place call stays
 	// consistent across multiple entities.
-	opp := make([]resource.Vector, len(views))
-	fresh := make([]resource.Vector, len(views))
-	for i, v := range views {
-		opp[i] = s.oppAvailable(i, v)
-		fresh[i] = v.FreshAvailable
+	opp, fresh := s.pools(views)
+	// Candidate sets are fixed within one Place call; build them once and
+	// patch only the chosen VM's Available after each placement instead
+	// of rebuilding both slices per entity.
+	if cap(s.oppIdx) < len(views) {
+		s.oppIdx = make([]int, len(views))
+		s.freshIdx = make([]int, len(views))
+	}
+	s.oppIdx = s.oppIdx[:len(views)]
+	s.freshIdx = s.freshIdx[:len(views)]
+	s.oppCands = s.oppCands[:0]
+	s.freshCands = s.freshCands[:0]
+	for i := range views {
+		s.oppIdx[i], s.freshIdx[i] = -1, -1
+		if views[i].Down {
+			continue
+		}
+		s.freshIdx[i] = len(s.freshCands)
+		s.freshCands = append(s.freshCands, packing.Candidate{VM: i, Available: fresh[i]})
+		if s.latest[i].Unlocked {
+			s.oppIdx[i] = len(s.oppCands)
+			s.oppCands = append(s.oppCands, packing.Candidate{VM: i, Available: opp[i]})
+		}
 	}
 	var placements []Placement
 	for _, e := range entities {
@@ -440,26 +546,15 @@ func (s *corpScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 			allocs[i] = s.alloc(j)
 			need = need.Add(allocs[i])
 		}
-		var oppCands []packing.Candidate
-		for i := range views {
-			if !views[i].Down && s.latest[i].Unlocked {
-				oppCands = append(oppCands, packing.Candidate{VM: i, Available: opp[i]})
-			}
-		}
-		if vm, ok := s.strategy.Choose(need, oppCands, s.maxCap); ok {
+		if vm, ok := s.strategy.Choose(need, s.oppCands, s.maxCap); ok {
 			opp[vm] = opp[vm].Sub(need).ClampNonNegative()
+			s.oppCands[s.oppIdx[vm]].Available = opp[vm]
 			placements = append(placements, Placement{Jobs: e.Jobs, Allocs: allocs, VM: vm, Opportunistic: true})
 			continue
 		}
-		freshCands := make([]packing.Candidate, 0, len(views))
-		for i := range views {
-			if views[i].Down {
-				continue
-			}
-			freshCands = append(freshCands, packing.Candidate{VM: i, Available: fresh[i]})
-		}
-		if vm, ok := s.strategy.Choose(need, freshCands, s.maxCap); ok {
+		if vm, ok := s.strategy.Choose(need, s.freshCands, s.maxCap); ok {
 			fresh[vm] = fresh[vm].Sub(need).ClampNonNegative()
+			s.freshCands[s.freshIdx[vm]].Available = fresh[vm]
 			placements = append(placements, Placement{Jobs: e.Jobs, Allocs: allocs, VM: vm})
 		}
 		// Otherwise the entity stays queued; the simulator re-offers its
@@ -475,17 +570,14 @@ type randomScheduler struct {
 	base
 	name        string
 	allocFactor float64
+	// fits is randomFit's reused candidate buffer.
+	fits []int
 }
 
 func (s *randomScheduler) Name() string { return s.name }
 
 func (s *randomScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
-	opp := make([]resource.Vector, len(views))
-	fresh := make([]resource.Vector, len(views))
-	for i, v := range views {
-		opp[i] = s.oppAvailable(i, v)
-		fresh[i] = v.FreshAvailable
-	}
+	opp, fresh := s.pools(views)
 	var placements []Placement
 	for _, j := range jobs {
 		alloc := padStorage(j.PeakDemand()).Scale(s.allocFactor * s.tight)
@@ -509,7 +601,7 @@ func (s *randomScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 // randomFit returns a uniformly random up-VM index whose pool satisfies
 // demand.
 func (s *randomScheduler) randomFit(demand resource.Vector, pools []resource.Vector, views []VMView) (int, bool) {
-	var fits []int
+	fits := s.fits[:0]
 	for i, p := range pools {
 		if views[i].Down {
 			continue
@@ -518,6 +610,7 @@ func (s *randomScheduler) randomFit(demand resource.Vector, pools []resource.Vec
 			fits = append(fits, i)
 		}
 	}
+	s.fits = fits
 	if len(fits) == 0 {
 		return 0, false
 	}
@@ -546,7 +639,11 @@ func newDRAScheduler(b base, bulk float64) *draScheduler {
 func (s *draScheduler) Name() string { return "DRA" }
 
 func (s *draScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
-	fresh := make([]resource.Vector, len(views))
+	// DRA never touches the opportunistic pool; reuse only the fresh copy.
+	if cap(s.freshPool) < len(views) {
+		s.freshPool = make([]resource.Vector, len(views))
+	}
+	fresh := s.freshPool[:len(views)]
 	for i, v := range views {
 		fresh[i] = v.FreshAvailable
 	}

@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/scheduler"
+)
+
+// engineCfg is a run small enough for -race but busy enough to exercise
+// training, HMM refits, packing, and outcome draining. The VirtualClock
+// makes Overhead deterministic so whole Results can be compared.
+func engineCfg(sc scheduler.Scheme, seed int64, workers int) Config {
+	cfg := Config{
+		NumPMs: 6, NumVMs: 24, NumJobs: 40, Seed: seed,
+		Warmup: 40, ArrivalSpan: 30, Drain: 60,
+		Scheduler: scheduler.Config{Scheme: sc, Seed: seed},
+		Clock:     &VirtualClock{StepMicros: 50},
+		Workers:   workers,
+	}
+	return cfg
+}
+
+// TestRunWorkerCountEquivalence is the tentpole's determinism pin: for
+// every scheme, sim.Run with workers ∈ {1, 4, GOMAXPROCS} must produce
+// an identical Result — the parallel engine merges positionally and the
+// shared CORP brain only trains from the ordered flush phase, so worker
+// count can only change wall time, never a figure.
+func TestRunWorkerCountEquivalence(t *testing.T) {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	schemes := append(scheduler.Schemes(), scheduler.Oracle)
+	for _, sc := range schemes {
+		sc := sc
+		t.Run(sc.String(), func(t *testing.T) {
+			t.Parallel()
+			want, err := Run(engineCfg(sc, 7, 1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range counts[1:] {
+				got, err := Run(engineCfg(sc, 7, w))
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("workers=%d diverged from workers=1:\n  w1: %+v\n  w%d: %+v", w, want, w, got)
+				}
+			}
+		})
+	}
+}
+
+// TestRunWorkerCountEquivalenceFaulted repeats the pin under fault
+// injection for CORP: crashes exercise the dirty-VM Refresh skip and the
+// Recovery/DNNTrainErrors fields, which must also match exactly.
+func TestRunWorkerCountEquivalenceFaulted(t *testing.T) {
+	mk := func(workers int) Config {
+		cfg := engineCfg(scheduler.CORP, 11, workers)
+		cfg.Faults = faults.Config{
+			Seed:         11,
+			VMCrashProb:  0.01,
+			MeanDowntime: 12,
+			SurgeProb:    0.02,
+		}
+		return cfg
+	}
+	want, err := Run(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Recovery.VMCrashes == 0 {
+		t.Fatal("fault profile injected no crashes; the dirty-skip path is untested")
+	}
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		got, err := Run(mk(w))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("faulted run diverged at workers=%d", w)
+		}
+	}
+}
+
+// TestRunAutoWorkersMatchesSerial pins that the budget-driven auto mode
+// (Workers == 0) also reproduces the serial figures, whatever the budget
+// happens to grant.
+func TestRunAutoWorkersMatchesSerial(t *testing.T) {
+	want, err := Run(engineCfg(scheduler.CORP, 3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(engineCfg(scheduler.CORP, 3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("auto-sized run diverged from serial run")
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+
+	"repro/internal/workpool"
 )
 
 // RunMany executes several independent simulations concurrently on a
@@ -14,7 +16,11 @@ import (
 // parallelize perfectly; the experiment sweeps use this to regenerate
 // figures on all cores.
 //
-// Workers ≤ 0 defaults to GOMAXPROCS. A run that fails — including one
+// Workers ≤ 0 defaults to GOMAXPROCS. The pool claims its worker count
+// from the shared budget (internal/workpool) for the duration of the
+// sweep, so auto-sized intra-run prediction engines (Config.Workers == 0)
+// see only the remaining slots and outer×inner parallelism never
+// oversubscribes the machine. A run that fails — including one
 // that panics; panics are recovered per run so a single bad configuration
 // cannot take down a whole sweep — leaves results[i] nil, with the
 // remaining runs still completing. The returned error joins every per-run
@@ -35,6 +41,13 @@ func runMany(cfgs []Config, workers int, run func(Config) (*Result, error)) ([]*
 	errs := make([]error, len(cfgs))
 	if len(cfgs) == 0 {
 		return results, nil
+	}
+	// Account the outer pool against the shared worker budget so inner
+	// engines auto-size from the remainder. The claim is advisory: even
+	// when the budget is exhausted the sweep still runs at its requested
+	// width (worker counts never change results, only wall time).
+	if claimed := workpool.ClaimUpTo(workers); claimed > 0 {
+		defer workpool.Release(claimed)
 	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)

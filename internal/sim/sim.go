@@ -22,6 +22,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/scheduler"
 	"repro/internal/trace"
+	"repro/internal/workpool"
 )
 
 // Config parameterizes one simulation run.
@@ -97,6 +98,15 @@ type Config struct {
 	LongJobs int
 	// Long overrides the long-job generator.
 	Long trace.LongJobConfig
+
+	// Workers sizes the intra-run parallel prediction engine. 0 (the
+	// default) auto-sizes from the shared worker budget: the run claims
+	// whatever slots RunMany's outer pool has not already taken, so
+	// sweeps and intra-run parallelism compose without oversubscription.
+	// 1 forces a serial run; values > 1 are honored as given. Results
+	// are bit-identical at any worker count — Workers affects wall time
+	// only. Run overwrites Scheduler.Workers with the resolved count.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -225,6 +235,27 @@ func (st *vmState) freshHeadroom() resource.Vector {
 // Run executes one simulation and returns its metrics.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	// Size the intra-run prediction engine from the shared worker budget.
+	// Auto (0) claims the remaining budget — RunMany claims its outer
+	// slots first, so nested parallelism never oversubscribes; an
+	// explicit count > 1 runs at the requested width and the claim is
+	// advisory accounting for any sibling auto-sized runs.
+	workers := cfg.Workers
+	claimed := 0
+	if workers == 0 {
+		claimed = workpool.ClaimUpTo(workpool.Limit())
+		workers = claimed
+		if workers < 1 {
+			workers = 1
+		}
+	} else if workers > 1 {
+		claimed = workpool.ClaimUpTo(workers)
+	}
+	if claimed > 0 {
+		defer workpool.Release(claimed)
+	}
+	cfg.Scheduler.Workers = workers
+
 	cl, err := cluster.New(cluster.Config{
 		Profile: cfg.Profile, NumPMs: cfg.NumPMs, NumVMs: cfg.NumVMs,
 		Heterogeneous: cfg.Heterogeneous,
@@ -412,6 +443,15 @@ func Run(cfg Config) (*Result, error) {
 	nextArrival := 0
 	window := sched.Window()
 
+	// Per-slot buffers, hoisted out of the loop so the hot path does not
+	// reallocate them every slot. batcher is resolved once: the engine's
+	// ObserveAll fans the per-VM predictor updates across its workers.
+	unused := make([]resource.Vector, len(vms))
+	residentUse := make([]resource.Vector, len(vms))
+	downMask := make([]bool, len(vms))
+	views := make([]scheduler.VMView, len(vms))
+	batcher, hasBatcher := sched.(scheduler.BatchObserver)
+
 	for t := 0; t < horizon; t++ {
 		// 0. Fault injection: complete repairs, then crash VMs/PMs and
 		// evict their jobs into the retry queue; the slot's surge factors
@@ -494,11 +534,15 @@ func Run(cfg Config) (*Result, error) {
 		// 2. Observe actual unused resources (prediction target): the
 		// residents' slack (shrunk by any demand surge) plus the running
 		// long jobs' slack. Failed VMs report no telemetry and offer no
-		// pool; their predictors hold stale state until recovery.
-		unused := make([]resource.Vector, len(vms))
-		residentUse := make([]resource.Vector, len(vms))
+		// pool; their predictors hold stale state until recovery. The
+		// samples are computed serially (cheap ledger reads), then fed to
+		// the predictor fleet in one batch so the engine can shard the
+		// expensive per-VM updates across its workers.
 		for v, st := range vms {
+			downMask[v] = st.down
 			if st.down {
+				unused[v] = resource.Vector{}
+				residentUse[v] = resource.Vector{}
 				continue
 			}
 			residentUse[v] = st.resident.DemandAt(t)
@@ -512,7 +556,15 @@ func Run(cfg Config) (*Result, error) {
 				u = u.Add(rt.Spec.Request.Sub(rt.Spec.DemandAt(rt.Slots)).ClampNonNegative())
 			}
 			unused[v] = u
-			sched.Observe(v, unused[v])
+		}
+		if hasBatcher {
+			batcher.ObserveAll(unused, downMask)
+		} else {
+			for v := range vms {
+				if !downMask[v] {
+					sched.Observe(v, unused[v])
+				}
+			}
 		}
 
 		// 3. Refresh forecasts once per window (timed: this is the
@@ -575,7 +627,6 @@ func Run(cfg Config) (*Result, error) {
 		// 5. Place queued jobs. Failed VMs drop out of the scheduler's
 		// view and re-enter when they recover.
 		if len(queue) > 0 {
-			views := make([]scheduler.VMView, len(vms))
 			for v, st := range vms {
 				if st.down {
 					views[v] = scheduler.VMView{Down: true}

@@ -1,0 +1,65 @@
+// Package workpool coordinates a process-wide worker budget shared by the
+// outer sweep runner (sim.RunMany) and the intra-run prediction engines,
+// so nested parallelism composes without oversubscribing the machine:
+// outer runs claim slots for the duration of the sweep, and each inner
+// engine sizes itself from whatever remains when its run starts.
+//
+// Claims are advisory accounting, not a semaphore: a caller that was
+// granted fewer slots than requested still makes progress (at worst on a
+// single worker), and an explicit worker count always runs at its
+// requested width — the budget only steers the auto-sizing path. Results
+// never depend on how many slots a claim was granted; worker counts affect
+// wall time only.
+package workpool
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// claimed is the number of worker slots currently claimed process-wide.
+var claimed atomic.Int64
+
+// Limit returns the total budget: GOMAXPROCS at the time of the call.
+func Limit() int { return runtime.GOMAXPROCS(0) }
+
+// Available returns how many slots are currently unclaimed (never
+// negative).
+func Available() int {
+	free := Limit() - int(claimed.Load())
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// ClaimUpTo claims up to n slots and returns how many were actually
+// granted (possibly zero). Callers must Release exactly the granted count
+// when done.
+func ClaimUpTo(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	for {
+		cur := claimed.Load()
+		free := int64(Limit()) - cur
+		if free <= 0 {
+			return 0
+		}
+		grant := int64(n)
+		if grant > free {
+			grant = free
+		}
+		if claimed.CompareAndSwap(cur, cur+grant) {
+			return int(grant)
+		}
+	}
+}
+
+// Release returns n previously granted slots to the budget.
+func Release(n int) {
+	if n <= 0 {
+		return
+	}
+	claimed.Add(int64(-n))
+}

@@ -1,0 +1,68 @@
+package workpool
+
+import (
+	"sync"
+	"testing"
+)
+
+// reset drains any leaked claims between tests.
+func reset() { claimed.Store(0) }
+
+func TestClaimUpToBounds(t *testing.T) {
+	reset()
+	limit := Limit()
+	if Available() != limit {
+		t.Fatalf("fresh budget: available %d, want %d", Available(), limit)
+	}
+	got := ClaimUpTo(limit + 5)
+	if got != limit {
+		t.Fatalf("over-claim granted %d, want %d", got, limit)
+	}
+	if Available() != 0 {
+		t.Fatalf("available %d after full claim", Available())
+	}
+	if extra := ClaimUpTo(1); extra != 0 {
+		t.Fatalf("claim on empty budget granted %d", extra)
+	}
+	Release(got)
+	if Available() != limit {
+		t.Fatalf("release did not restore budget: %d", Available())
+	}
+}
+
+func TestClaimZeroAndNegative(t *testing.T) {
+	reset()
+	if ClaimUpTo(0) != 0 || ClaimUpTo(-3) != 0 {
+		t.Fatal("non-positive claims must grant nothing")
+	}
+	Release(0)
+	Release(-2)
+	if Available() != Limit() {
+		t.Fatalf("no-op releases changed the budget: %d", Available())
+	}
+}
+
+// TestConcurrentClaims hammers the budget from many goroutines: the total
+// outstanding claim must never exceed the limit, and everything released
+// must restore a full budget.
+func TestConcurrentClaims(t *testing.T) {
+	reset()
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := ClaimUpTo(1 + g%3)
+				if int(claimed.Load()) > Limit() {
+					t.Errorf("claimed exceeds limit")
+				}
+				Release(n)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if Available() != Limit() {
+		t.Fatalf("budget leaked: available %d, want %d", Available(), Limit())
+	}
+}
