@@ -47,8 +47,10 @@ bench-diff:
 
 # check-perf captures a quick snapshot (kernel + engine micro-benches
 # only) and diffs it against the newest committed BENCH_*.json. Run
-# standalone it fails on DNN-kernel regressions; from `make check` it is
-# invoked with PERF_FATAL=0 so a noisy CI box warns instead of blocking.
+# standalone it fails on DNN/HMM-kernel ns regressions and on allocs/op
+# growth in any non-engine bench (predictor refresh paths included); from
+# `make check` it is invoked with PERF_FATAL=0 so a noisy CI box warns
+# instead of blocking.
 PERF_FATAL ?= 1
 check-perf:
 	@latest="$$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)"; \

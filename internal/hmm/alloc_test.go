@@ -1,0 +1,151 @@
+package hmm
+
+import (
+	"math"
+	"testing"
+)
+
+// Allocation-regression tests: once the scratch is warm, the HMM kernels
+// and the symbolizer hot path must not touch the heap. These pin the
+// tentpole property of the flattening; the perf suite gates ns/op.
+
+// allocSeries mirrors the predictor's history shape: 120 slots of a noisy
+// sine, symbolized over window 6.
+func allocSeries() []float64 {
+	vals := make([]float64, 120)
+	for i := range vals {
+		vals[i] = 50 + 18*math.Sin(float64(i)/5) + float64(i%7)
+	}
+	return vals
+}
+
+func allocObs(t testing.TB, vals []float64) []Symbol {
+	means := WindowMeans(vals, 6)
+	sym, err := NewSymbolizer(means)
+	if err != nil {
+		t.Fatalf("NewSymbolizer: %v", err)
+	}
+	obs := sym.ObserveLevels(vals, 6)
+	if len(obs) < 5 {
+		t.Fatalf("short obs: %d", len(obs))
+	}
+	return obs
+}
+
+func TestForwardDoesNotAllocate(t *testing.T) {
+	model := NewPaperModel(1)
+	obs := allocObs(t, allocSeries())
+	if _, _, _, err := model.Forward(obs); err != nil {
+		t.Fatalf("warm-up Forward: %v", err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, _, _, err := model.Forward(obs); err != nil {
+			t.Fatalf("Forward: %v", err)
+		}
+	}); n != 0 {
+		t.Fatalf("Forward allocates %v times per run, want 0", n)
+	}
+}
+
+func TestBackwardAndGammaDoNotAllocate(t *testing.T) {
+	model := NewPaperModel(1)
+	obs := allocObs(t, allocSeries())
+	_, scale, _, err := model.Forward(obs)
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := model.Backward(obs, scale); err != nil {
+			t.Fatalf("Backward: %v", err)
+		}
+	}); n != 0 {
+		t.Fatalf("Backward allocates %v times per run, want 0", n)
+	}
+	if _, err := model.Gamma(obs); err != nil {
+		t.Fatalf("warm-up Gamma: %v", err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, err := model.Gamma(obs); err != nil {
+			t.Fatalf("Gamma: %v", err)
+		}
+	}); n != 0 {
+		t.Fatalf("Gamma allocates %v times per run, want 0", n)
+	}
+}
+
+func TestViterbiDoesNotAllocate(t *testing.T) {
+	model := NewPaperModel(1)
+	obs := allocObs(t, allocSeries())
+	if _, _, err := model.Viterbi(obs); err != nil {
+		t.Fatalf("warm-up Viterbi: %v", err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, _, err := model.Viterbi(obs); err != nil {
+			t.Fatalf("Viterbi: %v", err)
+		}
+	}); n != 0 {
+		t.Fatalf("Viterbi allocates %v times per run, want 0", n)
+	}
+}
+
+func TestBaumWelchDoesNotAllocate(t *testing.T) {
+	model := NewPaperModel(1)
+	obs := allocObs(t, allocSeries())
+	if _, _, err := model.BaumWelch(obs, 5, 1e-5); err != nil {
+		t.Fatalf("warm-up BaumWelch: %v", err)
+	}
+	if n := testing.AllocsPerRun(50, func() {
+		if _, _, err := model.BaumWelch(obs, 5, 1e-5); err != nil {
+			t.Fatalf("BaumWelch: %v", err)
+		}
+	}); n != 0 {
+		t.Fatalf("BaumWelch allocates %v times per run, want 0", n)
+	}
+}
+
+func TestPredictNextSymbolDoesNotAllocate(t *testing.T) {
+	model := NewPaperModel(1)
+	if _, _, err := model.PredictNextSymbol(NormalProvisioning); err != nil {
+		t.Fatalf("warm-up PredictNextSymbol: %v", err)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if _, _, err := model.PredictNextSymbol(NormalProvisioning); err != nil {
+			t.Fatalf("PredictNextSymbol: %v", err)
+		}
+	}); n != 0 {
+		t.Fatalf("PredictNextSymbol allocates %v times per run, want 0", n)
+	}
+}
+
+func TestSymbolizerHotPathDoesNotAllocate(t *testing.T) {
+	vals := allocSeries()
+	means := make([]float64, 0, 32)
+	obs := make([]Symbol, 0, 32)
+	if n := testing.AllocsPerRun(100, func() {
+		means = AppendWindowMeans(means[:0], vals, 6)
+		sym, err := MakeSymbolizer(means)
+		if err != nil {
+			t.Fatalf("MakeSymbolizer: %v", err)
+		}
+		obs = sym.AppendObserveLevels(obs[:0], vals, 6)
+		if len(obs) != 20 {
+			t.Fatalf("obs length %d, want 20", len(obs))
+		}
+	}); n != 0 {
+		t.Fatalf("symbolizer path allocates %v times per run, want 0", n)
+	}
+}
+
+func TestAppendObserveDoesNotAllocate(t *testing.T) {
+	vals := allocSeries()
+	sym, err := MakeSymbolizer(vals)
+	if err != nil {
+		t.Fatalf("MakeSymbolizer: %v", err)
+	}
+	obs := make([]Symbol, 0, 32)
+	if n := testing.AllocsPerRun(100, func() {
+		obs = sym.AppendObserve(obs[:0], vals, 6)
+	}); n != 0 {
+		t.Fatalf("AppendObserve allocates %v times per run, want 0", n)
+	}
+}

@@ -5,6 +5,14 @@
 // scaled forward–backward (Eqs. 12–15), Viterbi decoding (Eq. 16),
 // Baum–Welch parameter re-estimation, and next-observation prediction
 // (Eq. 17).
+//
+// The kernels run over contiguous row-major slabs held in a reusable
+// Scratch, so in steady state (once the scratch has grown to the longest
+// observation sequence seen) Forward, Backward, Gamma, Viterbi, BaumWelch
+// and PredictNextSymbol perform no heap allocations. Every kernel
+// preserves the floating-point accumulation order of the original jagged
+// implementation exactly — see equivalence_test.go — so all figures pinned
+// to fixed seeds are bit-identical to the seed code.
 package hmm
 
 import (
@@ -69,12 +77,23 @@ func (s State) String() string {
 	}
 }
 
-// Model is a discrete HMM λ = (A, B, π) (Eqs. 9–11).
+// Model is a discrete HMM λ = (A, B, π) (Eqs. 9–11). The exported
+// parameter rows stay addressable as jagged slices for construction,
+// inspection and persistence; models built by New and LoadModel back them
+// with one contiguous slab per matrix. The compute kernels pack the
+// parameters into flat row-major scratch slabs at entry, so direct struct
+// literals (handy in tests) run through the same code path.
+//
+// Model methods reuse a model-owned Scratch and are therefore not safe for
+// concurrent use; concurrent readers of a shared, read-only model must use
+// the *Into variants with caller-supplied scratch.
 type Model struct {
 	H, M int
 	A    [][]float64 // A[i][j] = P(q_{t+1}=S_j | q_t=S_i)
 	B    [][]float64 // B[j][k] = P(O_t=k | q_t=S_j)
 	Pi   []float64   // Pi[i] = P(q_1=S_i)
+
+	scr *Scratch // lazily created; backs the non-Into convenience methods
 }
 
 // New returns a model with slightly-perturbed uniform parameters; the
@@ -102,10 +121,14 @@ func NewPaperModel(seed int64) *Model {
 	return m
 }
 
+// randomStochastic draws rows×cols stochastic rows backed by a single
+// contiguous slab. The RNG consumption order matches the seed
+// implementation (row-major), so fixed-seed models are unchanged.
 func randomStochastic(rng *rand.Rand, rows, cols int) [][]float64 {
+	slab := make([]float64, rows*cols)
 	out := make([][]float64, rows)
 	for i := range out {
-		out[i] = make([]float64, cols)
+		out[i] = slab[i*cols : (i+1)*cols : (i+1)*cols]
 		var sum float64
 		for j := range out[i] {
 			out[i][j] = 1 + 0.2*rng.Float64()
@@ -167,53 +190,199 @@ func (m *Model) checkObs(obs []Symbol) error {
 	return nil
 }
 
+// Scratch holds every buffer the HMM kernels need: flat row-major
+// parameter slabs packed at kernel entry, the α/β/γ/ξ recursion slabs,
+// the Viterbi trellis, and the row-header views the jagged-shaped return
+// values alias into. A zero Scratch is ready to use; buffers grow to the
+// largest (H, M, T) seen and are reused thereafter, at which point every
+// kernel is allocation-free.
+//
+// Slices returned by kernels running on a Scratch alias its buffers: they
+// are valid until the next kernel call on the same Scratch.
+type Scratch struct {
+	a, b []float64 // packed parameters: H×H and H×M row-major
+	pi   []float64
+
+	logA, logB []float64 // per-call logs for Viterbi
+
+	alpha, beta []float64 // T×H row-major
+	scale       []float64 // T
+	gamma       []float64 // T×H
+	xi          []float64 // (T-1)×H×H
+
+	delta []float64 // Viterbi trellis, T×H
+	psi   []int32   // backpointers, T×H
+	path  []State   // T
+	dist  []float64 // M
+
+	// Reused row-header views for the jagged-shaped public returns.
+	alphaRows, betaRows, gammaRows [][]float64
+}
+
+// NewScratch returns an empty scratch; kernels size it on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// scratch returns the model-owned scratch, creating it lazily so direct
+// struct literals work.
+func (m *Model) scratch() *Scratch {
+	if m.scr == nil {
+		m.scr = &Scratch{}
+	}
+	return m.scr
+}
+
+func growF(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
+
+func growI(buf []int32, n int) []int32 {
+	if cap(buf) < n {
+		return make([]int32, n)
+	}
+	return buf[:n]
+}
+
+// pack copies the model parameters into the flat slabs. The copies are
+// exact, so the flat kernels see precisely the values the jagged code read
+// through the row pointers.
+func (s *Scratch) pack(m *Model) {
+	h, mm := m.H, m.M
+	s.a = growF(s.a, h*h)
+	s.b = growF(s.b, h*mm)
+	s.pi = growF(s.pi, h)
+	for i := 0; i < h; i++ {
+		copy(s.a[i*h:(i+1)*h], m.A[i])
+		copy(s.b[i*mm:(i+1)*mm], m.B[i])
+	}
+	copy(s.pi, m.Pi)
+}
+
+// rows re-slices dst into T row views of the flat T×H slab. With dst
+// capacity ≥ T this performs no allocation.
+func rows(dst [][]float64, flat []float64, tLen, h int) [][]float64 {
+	dst = dst[:0]
+	for t := 0; t < tLen; t++ {
+		dst = append(dst, flat[t*h:(t+1)*h])
+	}
+	return dst
+}
+
+// forwardInto runs the scaled forward pass (Eq. 14) on packed parameters.
+// Callers must have validated obs and packed s.
+func (m *Model) forwardInto(s *Scratch, obs []Symbol) (logProb float64) {
+	h := m.H
+	mm := m.M
+	T := len(obs)
+	s.alpha = growF(s.alpha, T*h)
+	s.scale = growF(s.scale, T)
+	a, b, pi := s.a, s.b, s.pi
+	alpha, scale := s.alpha, s.scale
+
+	var sc float64
+	o0 := int(obs[0])
+	for i := 0; i < h; i++ {
+		v := pi[i] * b[i*mm+o0]
+		alpha[i] = v
+		sc += v
+	}
+	if sc == 0 {
+		sc = math.SmallestNonzeroFloat64
+	}
+	scale[0] = sc
+	for i := 0; i < h; i++ {
+		alpha[i] /= sc
+	}
+	for t := 1; t < T; t++ {
+		prev := (t - 1) * h
+		base := t * h
+		ot := int(obs[t])
+		sc = 0
+		for j := 0; j < h; j++ {
+			var sum float64
+			for i := 0; i < h; i++ {
+				sum += alpha[prev+i] * a[i*h+j]
+			}
+			v := sum * b[j*mm+ot]
+			alpha[base+j] = v
+			sc += v
+		}
+		if sc == 0 {
+			sc = math.SmallestNonzeroFloat64
+		}
+		scale[t] = sc
+		for j := 0; j < h; j++ {
+			alpha[base+j] /= sc
+		}
+	}
+	for t := 0; t < T; t++ {
+		logProb += math.Log(scale[t])
+	}
+	return logProb
+}
+
+// backwardInto runs the scaled backward pass (Eq. 15) using s.scale from a
+// forward pass over the same obs.
+func (m *Model) backwardInto(s *Scratch, obs []Symbol, scale []float64) {
+	h := m.H
+	mm := m.M
+	T := len(obs)
+	s.beta = growF(s.beta, T*h)
+	a, b := s.a, s.b
+	beta := s.beta
+
+	last := (T - 1) * h
+	for i := 0; i < h; i++ {
+		beta[last+i] = 1 / scale[T-1]
+	}
+	for t := T - 2; t >= 0; t-- {
+		base := t * h
+		next := (t + 1) * h
+		on := int(obs[t+1])
+		for i := 0; i < h; i++ {
+			var sum float64
+			for j := 0; j < h; j++ {
+				sum += a[i*h+j] * b[j*mm+on] * beta[next+j]
+			}
+			beta[base+i] = sum / scale[t]
+		}
+	}
+}
+
 // Forward computes the scaled forward variables α̂ (Eq. 14) and returns
 // them with the per-step scale factors and the sequence log-likelihood
-// log P(O|λ).
+// log P(O|λ). The returned slices alias the model-owned scratch and are
+// overwritten by the next kernel call on this model.
 func (m *Model) Forward(obs []Symbol) (alpha [][]float64, scale []float64, logProb float64, err error) {
+	return m.ForwardInto(m.scratch(), obs)
+}
+
+// ForwardInto is Forward running on caller-supplied scratch, for callers
+// that share one read-only model across goroutines. The returned slices
+// alias s.
+func (m *Model) ForwardInto(s *Scratch, obs []Symbol) (alpha [][]float64, scale []float64, logProb float64, err error) {
 	if err := m.checkObs(obs); err != nil {
 		return nil, nil, 0, err
 	}
-	T := len(obs)
-	alpha = make([][]float64, T)
-	scale = make([]float64, T)
-	alpha[0] = make([]float64, m.H)
-	for i := 0; i < m.H; i++ {
-		alpha[0][i] = m.Pi[i] * m.B[i][obs[0]]
-		scale[0] += alpha[0][i]
-	}
-	if scale[0] == 0 {
-		scale[0] = math.SmallestNonzeroFloat64
-	}
-	for i := range alpha[0] {
-		alpha[0][i] /= scale[0]
-	}
-	for t := 1; t < T; t++ {
-		alpha[t] = make([]float64, m.H)
-		for j := 0; j < m.H; j++ {
-			var sum float64
-			for i := 0; i < m.H; i++ {
-				sum += alpha[t-1][i] * m.A[i][j]
-			}
-			alpha[t][j] = sum * m.B[j][obs[t]]
-			scale[t] += alpha[t][j]
-		}
-		if scale[t] == 0 {
-			scale[t] = math.SmallestNonzeroFloat64
-		}
-		for j := range alpha[t] {
-			alpha[t][j] /= scale[t]
-		}
-	}
-	for _, c := range scale {
-		logProb += math.Log(c)
-	}
-	return alpha, scale, logProb, nil
+	s.pack(m)
+	logProb = m.forwardInto(s, obs)
+	s.alphaRows = rows(s.alphaRows, s.alpha, len(obs), m.H)
+	return s.alphaRows, s.scale[:len(obs)], logProb, nil
 }
 
 // Backward computes the scaled backward variables β̂ (Eq. 15) using the
-// scale factors produced by Forward on the same sequence.
+// scale factors produced by Forward on the same sequence. The returned
+// rows alias the model-owned scratch (see Forward); Backward and Forward
+// use distinct buffers, so a Forward/Backward pair over one sequence may
+// consume both results together.
 func (m *Model) Backward(obs []Symbol, scale []float64) ([][]float64, error) {
+	return m.BackwardInto(m.scratch(), obs, scale)
+}
+
+// BackwardInto is Backward running on caller-supplied scratch.
+func (m *Model) BackwardInto(s *Scratch, obs []Symbol, scale []float64) ([][]float64, error) {
 	if err := m.checkObs(obs); err != nil {
 		return nil, err
 	}
@@ -221,60 +390,61 @@ func (m *Model) Backward(obs []Symbol, scale []float64) ([][]float64, error) {
 	if len(scale) != T {
 		return nil, fmt.Errorf("hmm: scale length %d, want %d", len(scale), T)
 	}
-	beta := make([][]float64, T)
-	beta[T-1] = make([]float64, m.H)
-	for i := range beta[T-1] {
-		beta[T-1][i] = 1 / scale[T-1]
-	}
-	for t := T - 2; t >= 0; t-- {
-		beta[t] = make([]float64, m.H)
-		for i := 0; i < m.H; i++ {
-			var sum float64
-			for j := 0; j < m.H; j++ {
-				sum += m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
-			}
-			beta[t][i] = sum / scale[t]
-		}
-	}
-	return beta, nil
+	s.pack(m)
+	m.backwardInto(s, obs, scale)
+	s.betaRows = rows(s.betaRows, s.beta, T, m.H)
+	return s.betaRows, nil
 }
 
-// Gamma computes γ_t(i) = P(q_t = S_i | O, λ) (Eqs. 12–13) for all t.
+// Gamma computes γ_t(i) = P(q_t = S_i | O, λ) (Eqs. 12–13) for all t. The
+// returned rows alias the model-owned scratch (see Forward).
 func (m *Model) Gamma(obs []Symbol) ([][]float64, error) {
-	alpha, scale, _, err := m.Forward(obs)
-	if err != nil {
+	return m.GammaInto(m.scratch(), obs)
+}
+
+// GammaInto is Gamma running on caller-supplied scratch.
+func (m *Model) GammaInto(s *Scratch, obs []Symbol) ([][]float64, error) {
+	if err := m.checkObs(obs); err != nil {
 		return nil, err
 	}
-	beta, err := m.Backward(obs, scale)
-	if err != nil {
-		return nil, err
-	}
+	s.pack(m)
 	T := len(obs)
-	gamma := make([][]float64, T)
+	h := m.H
+	m.forwardInto(s, obs)
+	m.backwardInto(s, obs, s.scale[:T])
+	s.gamma = growF(s.gamma, T*h)
+	alpha, beta, gamma := s.alpha, s.beta, s.gamma
 	for t := 0; t < T; t++ {
-		gamma[t] = make([]float64, m.H)
+		base := t * h
 		var norm float64
-		for i := 0; i < m.H; i++ {
-			gamma[t][i] = alpha[t][i] * beta[t][i]
-			norm += gamma[t][i]
+		for i := 0; i < h; i++ {
+			g := alpha[base+i] * beta[base+i]
+			gamma[base+i] = g
+			norm += g
 		}
 		if norm > 0 {
-			for i := range gamma[t] {
-				gamma[t][i] /= norm
+			for i := 0; i < h; i++ {
+				gamma[base+i] /= norm
 			}
 		}
 	}
-	return gamma, nil
+	s.gammaRows = rows(s.gammaRows, s.gamma, T, h)
+	return s.gammaRows, nil
 }
 
 // MostLikelyStates solves Eq. 16: the individually most likely state at
-// each time, argmax_i γ_t(i).
+// each time, argmax_i γ_t(i). The returned path aliases the model-owned
+// scratch and is overwritten by the next Viterbi or MostLikelyStates call.
 func (m *Model) MostLikelyStates(obs []Symbol) ([]State, error) {
-	gamma, err := m.Gamma(obs)
+	s := m.scratch()
+	gamma, err := m.GammaInto(s, obs)
 	if err != nil {
 		return nil, err
 	}
-	path := make([]State, len(obs))
+	if cap(s.path) < len(obs) {
+		s.path = make([]State, len(obs))
+	}
+	path := s.path[:len(obs)]
 	for t, g := range gamma {
 		best := 0
 		for i := 1; i < m.H; i++ {
@@ -289,46 +459,68 @@ func (m *Model) MostLikelyStates(obs []Symbol) ([]State, error) {
 
 // Viterbi returns the single best state sequence Q* maximizing P(Q, O|λ)
 // and its log probability. The paper uses Viterbi "to find the single best
-// state sequence (path)".
+// state sequence (path)". The returned path aliases the model-owned
+// scratch and is overwritten by the next kernel call on this model.
 func (m *Model) Viterbi(obs []Symbol) ([]State, float64, error) {
+	return m.ViterbiInto(m.scratch(), obs)
+}
+
+// ViterbiInto is Viterbi running on caller-supplied scratch.
+func (m *Model) ViterbiInto(s *Scratch, obs []Symbol) ([]State, float64, error) {
 	if err := m.checkObs(obs); err != nil {
 		return nil, 0, err
 	}
+	s.pack(m)
+	h := m.H
+	mm := m.M
 	T := len(obs)
-	logA := logMatrix(m.A)
-	logB := logMatrix(m.B)
-	delta := make([][]float64, T)
-	psi := make([][]int, T)
-	delta[0] = make([]float64, m.H)
-	psi[0] = make([]int, m.H)
-	for i := 0; i < m.H; i++ {
-		delta[0][i] = safeLog(m.Pi[i]) + logB[i][obs[0]]
+	s.logA = growF(s.logA, h*h)
+	s.logB = growF(s.logB, h*mm)
+	for i, p := range s.a[:h*h] {
+		s.logA[i] = safeLog(p)
+	}
+	for i, p := range s.b[:h*mm] {
+		s.logB[i] = safeLog(p)
+	}
+	s.delta = growF(s.delta, T*h)
+	s.psi = growI(s.psi, T*h)
+	if cap(s.path) < T {
+		s.path = make([]State, T)
+	}
+	logA, logB := s.logA, s.logB
+	delta, psi := s.delta, s.psi
+
+	o0 := int(obs[0])
+	for i := 0; i < h; i++ {
+		delta[i] = safeLog(s.pi[i]) + logB[i*mm+o0]
 	}
 	for t := 1; t < T; t++ {
-		delta[t] = make([]float64, m.H)
-		psi[t] = make([]int, m.H)
-		for j := 0; j < m.H; j++ {
+		prev := (t - 1) * h
+		base := t * h
+		ot := int(obs[t])
+		for j := 0; j < h; j++ {
 			best, bestI := math.Inf(-1), 0
-			for i := 0; i < m.H; i++ {
-				v := delta[t-1][i] + logA[i][j]
+			for i := 0; i < h; i++ {
+				v := delta[prev+i] + logA[i*h+j]
 				if v > best {
 					best, bestI = v, i
 				}
 			}
-			delta[t][j] = best + logB[j][obs[t]]
-			psi[t][j] = bestI
+			delta[base+j] = best + logB[j*mm+ot]
+			psi[base+j] = int32(bestI)
 		}
 	}
+	last := (T - 1) * h
 	best, bestI := math.Inf(-1), 0
-	for i := 0; i < m.H; i++ {
-		if delta[T-1][i] > best {
-			best, bestI = delta[T-1][i], i
+	for i := 0; i < h; i++ {
+		if delta[last+i] > best {
+			best, bestI = delta[last+i], i
 		}
 	}
-	path := make([]State, T)
+	path := s.path[:T]
 	path[T-1] = State(bestI)
 	for t := T - 2; t >= 0; t-- {
-		path[t] = State(psi[t+1][path[t+1]])
+		path[t] = State(psi[(t+1)*h+int(path[t+1])])
 	}
 	return path, best, nil
 }
@@ -340,23 +532,17 @@ func safeLog(p float64) float64 {
 	return math.Log(p)
 }
 
-func logMatrix(m [][]float64) [][]float64 {
-	out := make([][]float64, len(m))
-	for i, row := range m {
-		out[i] = make([]float64, len(row))
-		for j, p := range row {
-			out[i][j] = safeLog(p)
-		}
-	}
-	return out
-}
-
 // BaumWelch re-estimates (A, B, π) from the observation sequence using the
 // method of Stamp's tutorial (the paper's reference [30]): iterate
 // expectation (γ, ξ) and maximization until the log-likelihood improvement
 // drops below tol or maxIters is reached. It returns the final
 // log-likelihood and the number of iterations run.
 func (m *Model) BaumWelch(obs []Symbol, maxIters int, tol float64) (float64, int, error) {
+	return m.BaumWelchInto(m.scratch(), obs, maxIters, tol)
+}
+
+// BaumWelchInto is BaumWelch running on caller-supplied scratch.
+func (m *Model) BaumWelchInto(s *Scratch, obs []Symbol, maxIters int, tol float64) (float64, int, error) {
 	if err := m.checkObs(obs); err != nil {
 		return 0, 0, err
 	}
@@ -366,86 +552,93 @@ func (m *Model) BaumWelch(obs []Symbol, maxIters int, tol float64) (float64, int
 	if tol <= 0 {
 		tol = 1e-6
 	}
+	h := m.H
+	mm := m.M
 	T := len(obs)
+	s.gamma = growF(s.gamma, T*h)
+	if T > 1 {
+		s.xi = growF(s.xi, (T-1)*h*h)
+	}
 	prevLog := math.Inf(-1)
 	var logProb float64
 	iters := 0
 	for iter := 0; iter < maxIters; iter++ {
 		iters = iter + 1
-		alpha, scale, lp, err := m.Forward(obs)
-		if err != nil {
-			return 0, iters, err
-		}
-		logProb = lp
-		beta, err := m.Backward(obs, scale)
-		if err != nil {
-			return 0, iters, err
-		}
-		// γ and ξ accumulators.
-		gamma := make([][]float64, T)
-		xi := make([][][]float64, T-1)
+		// E-step on the current parameters.
+		s.pack(m)
+		logProb = m.forwardInto(s, obs)
+		m.backwardInto(s, obs, s.scale[:T])
+		a, b := s.a, s.b
+		alpha, beta, gamma, xi := s.alpha, s.beta, s.gamma, s.xi
 		for t := 0; t < T; t++ {
-			gamma[t] = make([]float64, m.H)
+			base := t * h
+			for i := 0; i < h; i++ {
+				gamma[base+i] = 0
+			}
 			if t < T-1 {
-				xi[t] = make([][]float64, m.H)
+				xbase := t * h * h
+				next := (t + 1) * h
+				on := int(obs[t+1])
 				var norm float64
-				for i := 0; i < m.H; i++ {
-					xi[t][i] = make([]float64, m.H)
-					for j := 0; j < m.H; j++ {
-						xi[t][i][j] = alpha[t][i] * m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
-						norm += xi[t][i][j]
+				for i := 0; i < h; i++ {
+					for j := 0; j < h; j++ {
+						v := alpha[base+i] * a[i*h+j] * b[j*mm+on] * beta[next+j]
+						xi[xbase+i*h+j] = v
+						norm += v
 					}
 				}
 				if norm > 0 {
-					for i := 0; i < m.H; i++ {
-						for j := 0; j < m.H; j++ {
-							xi[t][i][j] /= norm
-							gamma[t][i] += xi[t][i][j]
+					for i := 0; i < h; i++ {
+						for j := 0; j < h; j++ {
+							x := xi[xbase+i*h+j] / norm
+							xi[xbase+i*h+j] = x
+							gamma[base+i] += x
 						}
 					}
 				}
 			} else {
 				var norm float64
-				for i := 0; i < m.H; i++ {
-					gamma[t][i] = alpha[t][i] * beta[t][i]
-					norm += gamma[t][i]
+				for i := 0; i < h; i++ {
+					g := alpha[base+i] * beta[base+i]
+					gamma[base+i] = g
+					norm += g
 				}
 				if norm > 0 {
-					for i := range gamma[t] {
-						gamma[t][i] /= norm
+					for i := 0; i < h; i++ {
+						gamma[base+i] /= norm
 					}
 				}
 			}
 		}
 		// M-step.
-		for i := 0; i < m.H; i++ {
-			m.Pi[i] = gamma[0][i]
+		for i := 0; i < h; i++ {
+			m.Pi[i] = gamma[i]
 		}
-		for i := 0; i < m.H; i++ {
+		for i := 0; i < h; i++ {
 			var denom float64
 			for t := 0; t < T-1; t++ {
-				denom += gamma[t][i]
+				denom += gamma[t*h+i]
 			}
-			for j := 0; j < m.H; j++ {
+			for j := 0; j < h; j++ {
 				var num float64
 				for t := 0; t < T-1; t++ {
-					num += xi[t][i][j]
+					num += xi[t*h*h+i*h+j]
 				}
 				if denom > 0 {
 					m.A[i][j] = num / denom
 				}
 			}
 		}
-		for j := 0; j < m.H; j++ {
+		for j := 0; j < h; j++ {
 			var denom float64
 			for t := 0; t < T; t++ {
-				denom += gamma[t][j]
+				denom += gamma[t*h+j]
 			}
-			for k := 0; k < m.M; k++ {
+			for k := 0; k < mm; k++ {
 				var num float64
 				for t := 0; t < T; t++ {
 					if int(obs[t]) == k {
-						num += gamma[t][j]
+						num += gamma[t*h+j]
 					}
 				}
 				if denom > 0 {
@@ -492,11 +685,22 @@ func (m *Model) renormalize() {
 // the distribution of the next observation is
 // E[P_{T+1}(k)] = Σ_j P(q_{T+1}=S_j | q_T=q*_T) · b_j(k); the predicted
 // symbol is the argmax. It returns the symbol and the full distribution.
+// The distribution aliases the model-owned scratch and is overwritten by
+// the next PredictNextSymbol call on this model.
 func (m *Model) PredictNextSymbol(lastState State) (Symbol, []float64, error) {
+	return m.PredictNextSymbolInto(m.scratch(), lastState)
+}
+
+// PredictNextSymbolInto is PredictNextSymbol on caller-supplied scratch.
+func (m *Model) PredictNextSymbolInto(s *Scratch, lastState State) (Symbol, []float64, error) {
 	if int(lastState) < 0 || int(lastState) >= m.H {
 		return 0, nil, fmt.Errorf("hmm: state %d outside [0,%d)", lastState, m.H)
 	}
-	dist := make([]float64, m.M)
+	s.dist = growF(s.dist, m.M)
+	dist := s.dist
+	for k := 0; k < m.M; k++ {
+		dist[k] = 0
+	}
 	for j := 0; j < m.H; j++ {
 		p := m.A[lastState][j]
 		for k := 0; k < m.M; k++ {

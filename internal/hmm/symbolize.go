@@ -21,16 +21,28 @@ type Symbolizer struct {
 	Min, Mean, Max float64
 }
 
+var errEmptyHistory = errors.New("hmm: empty history")
+
 // NewSymbolizer derives thresholds from historical unused-resource samples.
 func NewSymbolizer(history []float64) (*Symbolizer, error) {
-	if len(history) == 0 {
-		return nil, errors.New("hmm: empty history")
-	}
-	lo, hi, err := stats.MinMax(history)
+	s, err := MakeSymbolizer(history)
 	if err != nil {
 		return nil, err
 	}
-	return &Symbolizer{Min: lo, Mean: stats.Mean(history), Max: hi}, nil
+	return &s, nil
+}
+
+// MakeSymbolizer is NewSymbolizer returning the Symbolizer by value, so
+// hot paths that rebuild thresholds every prediction keep it on the stack.
+func MakeSymbolizer(history []float64) (Symbolizer, error) {
+	if len(history) == 0 {
+		return Symbolizer{}, errEmptyHistory
+	}
+	lo, hi, err := stats.MinMax(history)
+	if err != nil {
+		return Symbolizer{}, err
+	}
+	return Symbolizer{Min: lo, Mean: stats.Mean(history), Max: hi}, nil
 }
 
 // Thresholds returns (t₁, t₂).
@@ -59,22 +71,27 @@ func (s *Symbolizer) Symbol(delta float64) Symbol {
 // symbolized. A windowLen < 2 is raised to 2; a series shorter than one
 // window yields nil.
 func (s *Symbolizer) Observe(series []float64, windowLen int) []Symbol {
+	return s.AppendObserve(nil, series, windowLen)
+}
+
+// AppendObserve is Observe writing into dst (usually a reused scratch
+// slice re-sliced to length 0); it allocates only when dst lacks capacity.
+func (s *Symbolizer) AppendObserve(dst []Symbol, series []float64, windowLen int) []Symbol {
 	if windowLen < 2 {
 		windowLen = 2
 	}
 	if len(series) < windowLen {
-		return nil
+		return dst
 	}
-	var obs []Symbol
 	for start := 0; start+windowLen <= len(series); start += windowLen {
 		win := series[start : start+windowLen]
 		lo, hi, err := stats.MinMax(win)
 		if err != nil {
 			continue
 		}
-		obs = append(obs, s.Symbol(hi-lo))
+		dst = append(dst, s.Symbol(hi-lo))
 	}
-	return obs
+	return dst
 }
 
 // ObserveLevels builds the observation sequence from window *levels*
@@ -91,18 +108,24 @@ func (s *Symbolizer) Observe(series []float64, windowLen int) []Symbol {
 // with consistent units. The CORP predictor uses this variant; Observe
 // remains available as the paper-literal reading.
 func (s *Symbolizer) ObserveLevels(series []float64, windowLen int) []Symbol {
+	return s.AppendObserveLevels(nil, series, windowLen)
+}
+
+// AppendObserveLevels is ObserveLevels writing into dst (usually a reused
+// scratch slice re-sliced to length 0); it allocates only when dst lacks
+// capacity.
+func (s *Symbolizer) AppendObserveLevels(dst []Symbol, series []float64, windowLen int) []Symbol {
 	if windowLen < 1 {
 		windowLen = 1
 	}
 	if len(series) < windowLen {
-		return nil
+		return dst
 	}
-	var obs []Symbol
 	for start := 0; start+windowLen <= len(series); start += windowLen {
 		win := series[start : start+windowLen]
-		obs = append(obs, s.SymbolForLevel(stats.Mean(win)))
+		dst = append(dst, s.SymbolForLevel(stats.Mean(win)))
 	}
-	return obs
+	return dst
 }
 
 // SymbolForLevel categorizes an unused-resource level (not a range).
@@ -122,14 +145,20 @@ func (s *Symbolizer) SymbolForLevel(level float64) Symbol {
 // over this reduced series yields thresholds and a correction magnitude in
 // window-mean units, matching what the predictor actually estimates.
 func WindowMeans(series []float64, windowLen int) []float64 {
+	return AppendWindowMeans(nil, series, windowLen)
+}
+
+// AppendWindowMeans is WindowMeans writing into dst (usually a reused
+// scratch slice re-sliced to length 0); it allocates only when dst lacks
+// capacity.
+func AppendWindowMeans(dst []float64, series []float64, windowLen int) []float64 {
 	if windowLen < 1 {
 		windowLen = 1
 	}
-	var out []float64
 	for start := 0; start+windowLen <= len(series); start += windowLen {
-		out = append(out, stats.Mean(series[start:start+windowLen]))
+		dst = append(dst, stats.Mean(series[start:start+windowLen]))
 	}
-	return out
+	return dst
 }
 
 // CorrectionMagnitude returns the paper's peak/valley adjustment step

@@ -36,17 +36,35 @@ func (m *Model) BaumWelchMulti(seqs [][]Symbol, maxIters int, tol float64) (floa
 	prevLog := math.Inf(-1)
 	var logProb float64
 	iters := 0
+	// Accumulators across sequences and per-t scratch, reused each
+	// iteration (zeroed below); hoisting them out of the loops does not
+	// change any accumulation order.
+	piAcc := make([]float64, m.H)
+	aNum := make([][]float64, m.H)
+	aDen := make([]float64, m.H)
+	bNum := make([][]float64, m.H)
+	bDen := make([]float64, m.H)
+	for i := 0; i < m.H; i++ {
+		aNum[i] = make([]float64, m.H)
+		bNum[i] = make([]float64, m.M)
+	}
+	gamma := make([]float64, m.H)
+	xi := make([][]float64, m.H)
+	for i := range xi {
+		xi[i] = make([]float64, m.H)
+	}
 	for iter := 0; iter < maxIters; iter++ {
 		iters = iter + 1
-		// Accumulators across sequences.
-		piAcc := make([]float64, m.H)
-		aNum := make([][]float64, m.H)
-		aDen := make([]float64, m.H)
-		bNum := make([][]float64, m.H)
-		bDen := make([]float64, m.H)
 		for i := 0; i < m.H; i++ {
-			aNum[i] = make([]float64, m.H)
-			bNum[i] = make([]float64, m.M)
+			piAcc[i] = 0
+			aDen[i] = 0
+			bDen[i] = 0
+			for j := 0; j < m.H; j++ {
+				aNum[i][j] = 0
+			}
+			for k := 0; k < m.M; k++ {
+				bNum[i][k] = 0
+			}
 		}
 		logProb = 0
 		for _, obs := range seqs {
@@ -62,7 +80,6 @@ func (m *Model) BaumWelchMulti(seqs [][]Symbol, maxIters int, tol float64) (floa
 			T := len(obs)
 			for t := 0; t < T; t++ {
 				// γ_t(i) normalized.
-				gamma := make([]float64, m.H)
 				var norm float64
 				for i := 0; i < m.H; i++ {
 					gamma[i] = alpha[t][i] * beta[t][i]
@@ -88,9 +105,7 @@ func (m *Model) BaumWelchMulti(seqs [][]Symbol, maxIters int, tol float64) (floa
 				// ξ_t(i,j) normalized.
 				if t < T-1 {
 					var xnorm float64
-					xi := make([][]float64, m.H)
 					for i := 0; i < m.H; i++ {
-						xi[i] = make([]float64, m.H)
 						for j := 0; j < m.H; j++ {
 							xi[i][j] = alpha[t][i] * m.A[i][j] * m.B[j][obs[t+1]] * beta[t+1][j]
 							xnorm += xi[i][j]

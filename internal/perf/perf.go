@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"strings"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dnn"
 	"repro/internal/experiments"
+	"repro/internal/hmm"
 	"repro/internal/predict"
 	"repro/internal/resource"
 	"repro/internal/scheduler"
@@ -46,11 +48,26 @@ type Snapshot struct {
 	Results  []Result `json:"results"`
 }
 
-// kernelPrefix marks the benches gated by Diff: the DNN compute kernels,
-// whose regressions the ISSUE's perf work exists to prevent. End-to-end
-// benches (figure runs) are recorded but not gated — they are too noisy
-// for a 10% threshold.
-const kernelPrefix = "dnn/"
+// nsGatePrefixes mark the benches whose ns/op regressions fail Diff: the
+// DNN and HMM compute kernels, whose regressions the perf work exists to
+// prevent. End-to-end benches (figure runs, scale sims) are recorded but
+// not gated — they are too noisy for a 10% threshold.
+var nsGatePrefixes = []string{"dnn/", "hmm/"}
+
+// allocExemptPrefixes are excluded from the allocs/op-growth gate: the
+// end-to-end runs and the pooled engine benches have timing-dependent
+// allocation counts (goroutine scheduling, map growth), so only the
+// deterministic micro-benches are held to "allocs never grow".
+var allocExemptPrefixes = []string{"figure/", "scale/", "engine/"}
+
+func hasAnyPrefix(name string, prefixes []string) bool {
+	for _, p := range prefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
 
 // tableIINet builds the paper's Table II predictor network {Δ, 50, 50, 1}.
 func tableIINet(seed int64) (*dnn.Network, []float64, []float64) {
@@ -151,6 +168,86 @@ func Suite(quick bool) Snapshot {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			p.Observe(resource.Vector{4, 8, 50})
+		}
+	})
+	add("predict/corp-refresh", func(b *testing.B) {
+		brain, err := predict.NewCorpBrain(predict.CorpConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		capacity := resource.Vector{8, 16, 100}
+		p := predict.NewCorpPredictor(brain, capacity, 1)
+		var outcomes []predict.ErrorSample
+		// Warm past cold start and through one full history window so the
+		// HMM correction path is live and all scratch is at capacity.
+		for i := 0; i < 128; i++ {
+			p.Observe(refreshVector(i))
+			p.Predict()
+			outcomes = p.AppendOutcomes(outcomes[:0])
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Observe(refreshVector(i))
+			p.Predict()
+			outcomes = p.AppendOutcomes(outcomes[:0])
+		}
+	})
+	add("baseline/refresh", func(b *testing.B) {
+		capacity := resource.Vector{8, 16, 100}
+		preds := []predict.Predictor{
+			predict.NewRCCRPredictor(predict.RCCRConfig{}, capacity),
+			predict.NewCloudScalePredictor(predict.CloudScaleConfig{}, capacity),
+			predict.NewDRAPredictor(predict.DRAConfig{}, capacity),
+		}
+		var outcomes []predict.ErrorSample
+		for i := 0; i < 128; i++ {
+			for _, p := range preds {
+				p.Observe(refreshVector(i))
+				p.Predict()
+				outcomes = p.(predict.OutcomeAppender).AppendOutcomes(outcomes[:0])
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range preds {
+				p.Observe(refreshVector(i))
+				p.Predict()
+				outcomes = p.(predict.OutcomeAppender).AppendOutcomes(outcomes[:0])
+			}
+		}
+	})
+	add("hmm/viterbi", func(b *testing.B) {
+		m := hmm.NewPaperModel(1)
+		obs := correctObs()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := m.Viterbi(obs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("hmm/baumwelch", func(b *testing.B) {
+		m := hmm.NewPaperModel(1)
+		obs := correctObs()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// The hmmCorrect refit shape: 5 EM iterations, warm-started
+			// from the previous parameters.
+			if _, _, err := m.BaumWelch(obs, 5, 1e-5); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("hmm/correct", func(b *testing.B) {
+		bench := newCorrectBench()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			bench.step(i)
 		}
 	})
 	// Engine micro-benches: one slot's Observe fan-out and one window's
@@ -255,6 +352,77 @@ func engineFleet(b *testing.B, workers int) (scheduler.BatchObserver, scheduler.
 	return bo, sched, unused
 }
 
+// refreshVector is a deterministic, non-constant unused-telemetry slot for
+// the per-VM refresh benches: enough variation that the symbolizer
+// thresholds are non-degenerate and every correction branch stays live.
+func refreshVector(i int) resource.Vector {
+	f := 0.35 + 0.25*math.Sin(float64(i)/5) + 0.05*float64(i%7)
+	return resource.Vector{8 * f, 16 * f * 0.9, 100 * f * 0.7}
+}
+
+// correctSeries is the hmmCorrect input shape: a full default-length
+// history (120 slots) of fluctuating unused amounts.
+func correctSeries() []float64 {
+	vals := make([]float64, 120)
+	for i := range vals {
+		vals[i] = 50 + 18*math.Sin(float64(i)/5) + float64(i%7)
+	}
+	return vals
+}
+
+// correctObs symbolizes correctSeries the way hmmCorrect does (window
+// means, level thresholds, window 6 → 20 observations).
+func correctObs() []hmm.Symbol {
+	vals := correctSeries()
+	means := hmm.WindowMeans(vals, 6)
+	sym, err := hmm.NewSymbolizer(means)
+	if err != nil {
+		panic(err)
+	}
+	return sym.ObserveLevels(vals, 6)
+}
+
+// correctBench replicates the CorpPredictor.hmmCorrect sequence at the hmm
+// package level: symbolize the history into reused scratch, refit every
+// 8th call, Viterbi, and the Eq. 17 next-symbol correction.
+type correctBench struct {
+	vals  []float64
+	means []float64
+	obs   []hmm.Symbol
+	model *hmm.Model
+	yhat  float64
+}
+
+func newCorrectBench() *correctBench {
+	return &correctBench{vals: correctSeries(), model: hmm.NewPaperModel(1), yhat: 55}
+}
+
+func (c *correctBench) step(i int) {
+	c.means = hmm.AppendWindowMeans(c.means[:0], c.vals, 6)
+	sym, err := hmm.MakeSymbolizer(c.means)
+	if err != nil {
+		panic(err)
+	}
+	c.obs = sym.AppendObserveLevels(c.obs[:0], c.vals, 6)
+	obs := c.obs
+	if i%8 == 1 {
+		if _, _, err := c.model.BaumWelch(obs, 5, 1e-5); err != nil {
+			panic(err)
+		}
+	}
+	path, _, err := c.model.Viterbi(obs)
+	if err != nil {
+		panic(err)
+	}
+	next, dist, err := c.model.PredictNextSymbol(path[len(path)-1])
+	if err != nil {
+		panic(err)
+	}
+	if dist[next] >= 0.5 {
+		c.yhat = sym.CorrectToward(c.yhat, next)
+	}
+}
+
 // WriteJSON writes the snapshot with stable formatting.
 func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
@@ -272,9 +440,12 @@ func ReadSnapshot(r io.Reader) (Snapshot, error) {
 }
 
 // Diff compares two snapshots and returns a human-readable report plus an
-// error if any dnn/* kernel regressed by more than tol (fractional, e.g.
-// 0.10 for 10%) in ns/op, or grew its allocs/op at all. Benches present in
-// only one snapshot are reported but never fail the diff.
+// error if any dnn/* or hmm/* kernel regressed by more than tol
+// (fractional, e.g. 0.10 for 10%) in ns/op, or if any bench outside the
+// exempt prefixes (end-to-end figure/scale runs and the engine benches,
+// whose pool alloc counts are timing-dependent) grew its allocs/op at all.
+// Benches present in only one snapshot are reported but never fail the
+// diff.
 func Diff(old, new Snapshot, tol float64) (string, error) {
 	if tol <= 0 {
 		tol = 0.10
@@ -308,13 +479,10 @@ func Diff(old, new Snapshot, tol float64) (string, error) {
 			delta = (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
 		}
 		fmt.Fprintf(&sb, "%-28s %14.1f %14.1f %+7.1f%%\n", name, or.NsPerOp, nr.NsPerOp, delta*100)
-		if !strings.HasPrefix(name, kernelPrefix) {
-			continue
-		}
-		if delta > tol {
+		if hasAnyPrefix(name, nsGatePrefixes) && delta > tol {
 			failures = append(failures, fmt.Sprintf("%s: ns/op regressed %.1f%% (> %.0f%%)", name, delta*100, tol*100))
 		}
-		if nr.AllocsPerOp > or.AllocsPerOp {
+		if !hasAnyPrefix(name, allocExemptPrefixes) && nr.AllocsPerOp > or.AllocsPerOp {
 			failures = append(failures, fmt.Sprintf("%s: allocs/op grew %d → %d", name, or.AllocsPerOp, nr.AllocsPerOp))
 		}
 	}

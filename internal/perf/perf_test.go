@@ -65,6 +65,39 @@ func TestDiffFailsOnKernelAllocGrowth(t *testing.T) {
 	}
 }
 
+func TestDiffFailsOnHmmRegression(t *testing.T) {
+	old := snap(Result{Name: "hmm/baumwelch", NsPerOp: 5000})
+	new := snap(Result{Name: "hmm/baumwelch", NsPerOp: 6000}) // +20%
+	if _, err := Diff(old, new, 0.10); err == nil {
+		t.Error("20% hmm kernel regression passed the 10% gate")
+	}
+}
+
+func TestDiffFailsOnPredictorAllocGrowth(t *testing.T) {
+	// Predictor-level benches are not ns-gated (too noisy) but any allocs
+	// growth is deterministic and must fail.
+	old := snap(Result{Name: "predict/corp-refresh", NsPerOp: 100000, AllocsPerOp: 0})
+	new := snap(Result{Name: "predict/corp-refresh", NsPerOp: 100000, AllocsPerOp: 5})
+	if _, err := Diff(old, new, 0.10); err == nil {
+		t.Error("alloc growth in predict/corp-refresh passed the gate")
+	}
+	old = snap(Result{Name: "baseline/refresh", NsPerOp: 10000, AllocsPerOp: 0})
+	new = snap(Result{Name: "baseline/refresh", NsPerOp: 10000, AllocsPerOp: 3})
+	if _, err := Diff(old, new, 0.10); err == nil {
+		t.Error("alloc growth in baseline/refresh passed the gate")
+	}
+}
+
+func TestDiffExemptsPoolAllocNoise(t *testing.T) {
+	// Engine benches run goroutine pools whose alloc counts are
+	// timing-dependent; they are recorded but not alloc-gated.
+	old := snap(Result{Name: "engine/refresh-fleet200-w1", NsPerOp: 5e6, AllocsPerOp: 50000})
+	new := snap(Result{Name: "engine/refresh-fleet200-w1", NsPerOp: 5e6, AllocsPerOp: 51000})
+	if _, err := Diff(old, new, 0.10); err != nil {
+		t.Errorf("engine alloc noise failed the diff: %v", err)
+	}
+}
+
 func TestDiffIgnoresNonKernelRegression(t *testing.T) {
 	// End-to-end figure benches are recorded but too noisy to gate.
 	old := snap(Result{Name: "figure/fig06-quick", NsPerOp: 1e9})
@@ -98,12 +131,17 @@ func TestSuiteQuickRunsKernels(t *testing.T) {
 		"dnn/train-sample-tableII": false,
 		"dnn/train-batch-tableII":  false,
 		"predict/corp-observe":     false,
+		"predict/corp-refresh":     false,
+		"baseline/refresh":         false,
+		"hmm/viterbi":              false,
+		"hmm/baumwelch":            false,
+		"hmm/correct":              false,
 	}
 	for _, r := range s.Results {
 		if _, ok := want[r.Name]; ok {
 			want[r.Name] = true
 		}
-		if strings.HasPrefix(r.Name, "dnn/") && r.AllocsPerOp != 0 {
+		if (strings.HasPrefix(r.Name, "dnn/") || strings.HasPrefix(r.Name, "hmm/")) && r.AllocsPerOp != 0 {
 			t.Errorf("%s allocates %d/op", r.Name, r.AllocsPerOp)
 		}
 		if r.NsPerOp <= 0 {

@@ -179,6 +179,10 @@ type CloudScalePredictor struct {
 	calls     int
 	sigPeriod [resource.NumKinds]int
 	sigOK     [resource.NumKinds]bool
+
+	// spec holds the spectrum and signature buffers the detection and
+	// replay paths reuse across Predict calls.
+	spec stats.PeriodScratch
 }
 
 // sigRefresh is how many Predict calls reuse one signature detection.
@@ -236,11 +240,11 @@ func (p *CloudScalePredictor) Predict() Prediction {
 		}
 		yhat = p.chains[k].Predict((p.cfg.Window + 1) / 2)
 		if refreshSig {
-			p.sigPeriod[k], p.sigOK[k] = stats.DominantPeriod(sig, p.cfg.SignatureShare)
+			p.sigPeriod[k], p.sigOK[k] = p.spec.DominantPeriod(sig, p.cfg.SignatureShare)
 		}
 		if p.sigOK[k] {
-			if preds := stats.SignaturePredict(sig, p.sigPeriod[k], p.cfg.Window); preds != nil {
-				yhat = stats.Mean(preds)
+			if m, ok := p.spec.SignatureMean(sig, p.sigPeriod[k], p.cfg.Window); ok {
+				yhat = m
 			}
 		}
 		// Adaptive padding: the larger of the recent burst magnitude and

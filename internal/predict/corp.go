@@ -270,6 +270,11 @@ type CorpPredictor struct {
 	scratch     []float64
 	fwd         *dnn.FwdScratch
 
+	// Symbolization scratch for hmmCorrect, reused across kinds and
+	// predictions (each call fully rewrites both before reading).
+	hmmMeans []float64
+	hmmObs   []hmm.Symbol
+
 	// Staged training samples from the last ObserveLocal, one per kind,
 	// waiting for FlushShared to feed them to the brain.
 	stageIn  [resource.NumKinds][]float64
@@ -420,12 +425,14 @@ func (p *CorpPredictor) Predict() Prediction {
 // hmm.ObserveLevels) so the correction operates in the same units as the
 // DNN's window-mean estimate.
 func (p *CorpPredictor) hmmCorrect(k resource.Kind, vals []float64, yhat float64) float64 {
-	means := hmm.WindowMeans(vals, p.cfg.Window)
-	sym, err := hmm.NewSymbolizer(means)
+	p.hmmMeans = hmm.AppendWindowMeans(p.hmmMeans[:0], vals, p.cfg.Window)
+	means := p.hmmMeans
+	sym, err := hmm.MakeSymbolizer(means)
 	if err != nil {
 		return yhat
 	}
-	obs := sym.ObserveLevels(vals, p.cfg.Window)
+	p.hmmObs = sym.AppendObserveLevels(p.hmmObs[:0], vals, p.cfg.Window)
+	obs := p.hmmObs
 	if len(obs) < 5 {
 		return yhat
 	}

@@ -39,9 +39,25 @@ func Periodogram(series []float64) []float64 {
 
 // DominantPeriod finds the period (in samples) whose spectral peak carries
 // at least minShare of the total spectral energy. It returns (period, true)
-// when such a signature exists and (0, false) otherwise.
+// when such a signature exists and (0, false) otherwise. Power-of-two
+// series lengths ≥ 4 go through the O(n log n) PeriodogramFFT; other
+// lengths fall back to the direct DFT.
 func DominantPeriod(series []float64, minShare float64) (int, bool) {
-	power := Periodogram(series)
+	n := len(series)
+	var power []float64
+	if n >= 4 && n&(n-1) == 0 {
+		power = PeriodogramFFT(series)
+	} else {
+		power = Periodogram(series)
+	}
+	return dominantFromPower(power, n, minShare)
+}
+
+// dominantFromPower applies the signature decision rule to a power
+// spectrum over a length-n series: the spectral peak must carry minShare
+// of the energy, frequency 1 (the trend) is rejected, and the implied
+// period must repeat at least twice within the window.
+func dominantFromPower(power []float64, n int, minShare float64) (int, bool) {
 	if len(power) == 0 {
 		return 0, false
 	}
@@ -66,7 +82,7 @@ func DominantPeriod(series []float64, minShare float64) (int, bool) {
 		// validated against a second occurrence.
 		return 0, false
 	}
-	period := len(series) / freq
+	period := n / freq
 	if period < 2 {
 		return 0, false
 	}
@@ -116,6 +132,11 @@ type MarkovChain struct {
 	counts [][]float64 // transition counts with Laplace smoothing
 	last   int
 	seen   int
+
+	// Predict scratch: smoothed row plus ping-pong state distributions,
+	// allocated once at construction so steady-state prediction never
+	// touches the heap.
+	rowBuf, distBuf, nextBuf []float64
 }
 
 // NewMarkovChain builds a chain with the given number of bins over the
@@ -128,11 +149,17 @@ func NewMarkovChain(bins int, lo, hi float64) *MarkovChain {
 	if hi <= lo {
 		hi = lo + 1
 	}
+	slab := make([]float64, bins*bins)
 	counts := make([][]float64, bins)
 	for i := range counts {
-		counts[i] = make([]float64, bins)
+		counts[i] = slab[i*bins : (i+1)*bins : (i+1)*bins]
 	}
-	return &MarkovChain{bins: bins, lo: lo, hi: hi, counts: counts}
+	return &MarkovChain{
+		bins: bins, lo: lo, hi: hi, counts: counts,
+		rowBuf:  make([]float64, bins),
+		distBuf: make([]float64, bins),
+		nextBuf: make([]float64, bins),
+	}
 }
 
 // Bin quantizes a value into a bin index, clamping out-of-range values.
@@ -176,6 +203,13 @@ func (mc *MarkovChain) Fit(series []float64) {
 // without drowning short histories in prior probability).
 func (mc *MarkovChain) TransitionRow(b int) []float64 {
 	row := make([]float64, mc.bins)
+	mc.transitionRowInto(row, b)
+	return row
+}
+
+// transitionRowInto writes the smoothed row into a caller-owned slice of
+// length mc.bins, preserving TransitionRow's accumulation order exactly.
+func (mc *MarkovChain) transitionRowInto(row []float64, b int) {
 	var total float64
 	for j, c := range mc.counts[b] {
 		row[j] = c + 0.1
@@ -184,7 +218,6 @@ func (mc *MarkovChain) TransitionRow(b int) []float64 {
 	for j := range row {
 		row[j] /= total
 	}
-	return row
 }
 
 // Predict returns the expected value h steps ahead of the last observed
@@ -197,20 +230,32 @@ func (mc *MarkovChain) Predict(h int) float64 {
 	if h < 1 {
 		h = 1
 	}
-	dist := make([]float64, mc.bins)
+	// Chains built by struct literal (none today) would lack the scratch;
+	// guard so Predict stays total.
+	if mc.rowBuf == nil {
+		mc.rowBuf = make([]float64, mc.bins)
+		mc.distBuf = make([]float64, mc.bins)
+		mc.nextBuf = make([]float64, mc.bins)
+	}
+	dist, next := mc.distBuf, mc.nextBuf
+	for j := range dist {
+		dist[j] = 0
+	}
 	dist[mc.last] = 1
 	for step := 0; step < h; step++ {
-		next := make([]float64, mc.bins)
+		for j := range next {
+			next[j] = 0
+		}
 		for i, p := range dist {
 			if p == 0 {
 				continue
 			}
-			row := mc.TransitionRow(i)
-			for j, q := range row {
+			mc.transitionRowInto(mc.rowBuf, i)
+			for j, q := range mc.rowBuf {
 				next[j] += p * q
 			}
 		}
-		dist = next
+		dist, next = next, dist
 	}
 	var ev float64
 	for b, p := range dist {
