@@ -23,11 +23,12 @@ test:
 	$(GO) test ./...
 
 # The race subset covers the packages with real concurrency: the parallel
-# sweep runner and the DNN's shared training state. -short skips the
-# heavyweight single-threaded determinism tests (they add minutes under
-# the race detector and no concurrency coverage).
+# sweep runner, the shared workload-snapshot cache, and the DNN's shared
+# training state. -short skips the heavyweight single-threaded determinism
+# tests (they add minutes under the race detector and no concurrency
+# coverage).
 race:
-	$(GO) test -race -short ./internal/sim ./internal/dnn
+	$(GO) test -race -short ./internal/sim ./internal/workload ./internal/dnn
 
 # bench runs the hot-path benchmark suite at a fixed benchtime (stable
 # enough for snapshot comparison) and writes the BENCH_<date>.json perf
@@ -51,8 +52,12 @@ bench-diff:
 # growth in any non-engine bench (predictor refresh paths included); from
 # `make check` it is invoked with PERF_FATAL=0 so a noisy CI box warns
 # instead of blocking.
+# The cache-equivalence test is the correctness side of the perf work: it
+# pins every figure series bit-identical with the workload snapshot cache
+# on vs off, so a perf "win" can never silently change results.
 PERF_FATAL ?= 1
 check-perf:
+	$(GO) test -count=1 -run TestWorkloadCacheEquivalence ./internal/experiments
 	@latest="$$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)"; \
 	if [ -z "$$latest" ]; then echo "check-perf: no committed BENCH_*.json; skipping"; exit 0; fi; \
 	tmp="$$(mktemp)"; \

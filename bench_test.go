@@ -10,6 +10,7 @@ package corp
 // full scale.
 
 import (
+	"fmt"
 	"os"
 	"testing"
 
@@ -17,6 +18,18 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 )
+
+// TestMain reports the workload snapshot cache's counters after the suite,
+// so `make bench-figs` CI output shows whether the figure sweeps actually
+// shared generations — a sharing regression appears as a hit-rate collapse.
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if st := WorkloadCacheCounters(); st.Hits+st.Misses > 0 {
+		fmt.Printf("workload cache: %d hits, %d misses, %d evictions, %.1f MB resident\n",
+			st.Hits, st.Misses, st.Evictions, float64(st.Bytes)/1e6)
+	}
+	os.Exit(code)
+}
 
 // benchOptions picks quick or full scale.
 func benchOptions(seed int64) Options {

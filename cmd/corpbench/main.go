@@ -11,6 +11,9 @@
 //	-workers    intra-run prediction-engine workers per simulation
 //	            (0 = auto from the shared budget, 1 = serial; figures
 //	            are identical at any value)
+//	-workload-cache  on | off: share generated workload snapshots across
+//	            the sweep's runs (default on; figures are bit-identical
+//	            either way — see the cache-equivalence test)
 //	-list       print the available figure ids and exit
 //	-md         render the output as a Markdown report
 //	-json       run the perf benchmark suite and write a JSON snapshot
@@ -58,6 +61,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	quick := fs.Bool("quick", true, "small cluster and 3-point sweeps")
 	workers := fs.Int("workers", 0, "intra-run prediction-engine workers per simulation (0 = auto, 1 = serial)")
+	wlCache := fs.String("workload-cache", "on", "share generated workload snapshots across runs: on or off")
 	list := fs.Bool("list", false, "print the available figure ids and exit")
 	md := fs.Bool("md", false, "render the output as a Markdown report")
 	benchJSON := fs.Bool("json", false, "run the perf benchmark suite and write a JSON snapshot")
@@ -69,6 +73,15 @@ func run(args []string, out io.Writer) error {
 	memProfile := fs.String("memprofile", "", "write a pprof heap profile to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	switch *wlCache {
+	case "on":
+		corp.SetWorkloadCache(true)
+	case "off":
+		corp.SetWorkloadCache(false)
+	default:
+		return fmt.Errorf("workload-cache: want on or off, got %q", *wlCache)
 	}
 
 	if *cpuProfile != "" {
@@ -131,7 +144,19 @@ func run(args []string, out io.Writer) error {
 	if *md {
 		return experiments.WriteMarkdownReport(out, "CORP reproduction report", figs)
 	}
+	printCacheStats(out)
 	return nil
+}
+
+// printCacheStats surfaces the workload snapshot cache's counters after a
+// figure sweep, so CI logs show whether runs actually shared generations.
+func printCacheStats(out io.Writer) {
+	st := corp.WorkloadCacheCounters()
+	if st.Hits == 0 && st.Misses == 0 {
+		return
+	}
+	fmt.Fprintf(out, "workload cache: %d hits, %d misses, %d evictions, %d entries, %.1f MB\n",
+		st.Hits, st.Misses, st.Evictions, st.Entries, float64(st.Bytes)/1e6)
 }
 
 // runBenchJSON runs the perf suite and writes the snapshot file.
@@ -152,6 +177,10 @@ func runBenchJSON(out io.Writer, path string, quick bool) error {
 	for _, r := range snap.Results {
 		fmt.Fprintf(out, "%-28s %12.1f ns/op %8d allocs/op %10d B/op\n",
 			r.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+	}
+	if st := snap.WorkloadCache; st != nil {
+		fmt.Fprintf(out, "workload cache: %d hits, %d misses, %d evictions\n",
+			st.Hits, st.Misses, st.Evictions)
 	}
 	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil

@@ -22,6 +22,9 @@
 //	-det      deterministic virtual clock for the overhead metric
 //	-workers  intra-run prediction-engine workers (0 = auto from the
 //	          shared budget, 1 = serial; results identical either way)
+//	-workload-cache  on | off: share generated workload snapshots across
+//	          runs in this process (default on; results identical
+//	          either way, only wall time changes)
 //
 // Example:
 //
@@ -35,6 +38,7 @@ import (
 	"os"
 	"strings"
 
+	"repro"
 	"repro/internal/cluster"
 	"repro/internal/faults"
 	"repro/internal/resource"
@@ -68,8 +72,18 @@ func run(args []string, out *os.File) error {
 	surge := fs.Float64("surge", 0, "per-VM per-slot resident demand-surge probability")
 	det := fs.Bool("det", false, "deterministic virtual clock for the overhead metric")
 	workers := fs.Int("workers", 0, "intra-run prediction-engine workers (0 = auto, 1 = serial)")
+	wlCache := fs.String("workload-cache", "on", "share generated workload snapshots across runs: on or off")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	switch *wlCache {
+	case "on":
+		corp.SetWorkloadCache(true)
+	case "off":
+		corp.SetWorkloadCache(false)
+	default:
+		return fmt.Errorf("workload-cache: want on or off, got %q", *wlCache)
 	}
 
 	scheme, err := parseScheme(*schemeName)

@@ -34,6 +34,7 @@ import (
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Re-exported types: the stable public API surface.
@@ -74,6 +75,13 @@ type (
 	Clock = sim.Clock
 	// VirtualClock is the deterministic Clock implementation.
 	VirtualClock = sim.VirtualClock
+	// WorkloadSnapshot is an immutable pre-built workload (residents,
+	// short jobs, history, long jobs) shareable read-only across
+	// concurrent runs via SimConfig.Prepared.
+	WorkloadSnapshot = workload.Snapshot
+	// WorkloadCacheStats reports the process-wide snapshot cache's
+	// hit/miss/bytes counters.
+	WorkloadCacheStats = workload.Stats
 )
 
 // The four evaluated schemes, in the paper's comparison order.
@@ -118,6 +126,28 @@ func NewController(cl *Cluster, cfg ControllerConfig) (*Controller, error) {
 // GenerateWorkload produces synthetic Google-trace-like short-lived jobs.
 func GenerateWorkload(cfg WorkloadConfig) ([]*Job, error) {
 	return trace.GenerateShortJobs(cfg)
+}
+
+// PrepareWorkload pre-builds (or fetches from the cache) the workload
+// snapshot the given config's run would generate. Assign it to
+// SimConfig.Prepared to drive any number of concurrent runs off one
+// generation; results are identical either way.
+func PrepareWorkload(cfg SimConfig) (*WorkloadSnapshot, error) {
+	return sim.PrepareWorkload(cfg)
+}
+
+// SetWorkloadCache enables or disables the process-wide workload snapshot
+// cache (the -workload-cache=on|off switch of the CLIs). Disabling makes
+// every run regenerate its traces privately; figures are bit-identical
+// either way, only wall time changes.
+func SetWorkloadCache(on bool) {
+	workload.Default.SetEnabled(on)
+}
+
+// WorkloadCacheCounters returns the process-wide snapshot cache's current
+// counters.
+func WorkloadCacheCounters() WorkloadCacheStats {
+	return workload.Default.Stats()
 }
 
 // QuickOptions returns experiment options for fast runs (small cluster,

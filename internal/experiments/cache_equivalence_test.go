@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/workload"
+)
+
+// TestWorkloadCacheEquivalence pins the snapshot cache's core contract:
+// every figure series — both profiles, quick mode, including the faulted
+// extension figure — is bit-identical whether runs share cached snapshots
+// (the default) or regenerate their traces privately (-workload-cache=off).
+// It is the acceptance gate wired into `make check-perf`.
+func TestWorkloadCacheEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure equivalence sweep is slow; run without -short")
+	}
+	prev := workload.Default.Enabled()
+	defer workload.Default.SetEnabled(prev)
+
+	for _, profile := range []cluster.Profile{cluster.ProfileCluster, cluster.ProfileEC2} {
+		o := Options{Profile: profile, Seed: 11, Quick: true}
+
+		workload.Default.SetEnabled(true)
+		workload.Default.Reset()
+		cached, err := runFigureSet(o)
+		if err != nil {
+			t.Fatalf("%s cached run: %v", profile, err)
+		}
+		st := workload.Default.Stats()
+		if st.Hits == 0 {
+			t.Errorf("%s: cache recorded no hits across a full figure sweep", profile)
+		}
+		if st.Misses == 0 {
+			t.Errorf("%s: cache recorded no misses (nothing was built?)", profile)
+		}
+
+		workload.Default.SetEnabled(false)
+		uncached, err := runFigureSet(o)
+		if err != nil {
+			t.Fatalf("%s uncached run: %v", profile, err)
+		}
+
+		if len(cached) != len(uncached) {
+			t.Fatalf("%s: %d figures cached vs %d uncached", profile, len(cached), len(uncached))
+		}
+		for i := range cached {
+			compareFigures(t, profile.String(), cached[i], uncached[i])
+		}
+		t.Logf("%s: %d figures identical; cache stats %+v", profile, len(cached), st)
+	}
+}
+
+// runFigureSet runs every figure for the profile plus the faulted extension
+// figure, in a fixed order.
+func runFigureSet(o Options) ([]*Figure, error) {
+	figs, err := AllFigures(o)
+	if err != nil {
+		return nil, err
+	}
+	faulted, err := ExtensionFaultTolerance(o)
+	if err != nil {
+		return nil, err
+	}
+	return append(figs, faulted), nil
+}
+
+// wallClockFigures measure real scheduler decision wall time (the paper's
+// overhead Figs. 10/14), so their Y values differ between any two runs of
+// the same binary — cache or no cache. For these the test pins structure
+// (series labels, point counts, X values) and leaves Y alone; every other
+// figure is deterministic and compared bitwise.
+var wallClockFigures = map[string]bool{"fig10": true, "fig14": true}
+
+// compareFigures asserts two figures carry exactly equal series: same
+// labels, same point counts, and float64-bitwise-equal (==) X and Y values
+// (X only for the wall-clock overhead figures).
+func compareFigures(t *testing.T, profile string, a, b *Figure) {
+	t.Helper()
+	if a.ID != b.ID {
+		t.Fatalf("%s: figure order differs: %s vs %s", profile, a.ID, b.ID)
+	}
+	if len(a.Series) != len(b.Series) {
+		t.Errorf("%s %s: %d series cached vs %d uncached", profile, a.ID, len(a.Series), len(b.Series))
+		return
+	}
+	for si, sa := range a.Series {
+		sb := b.Series[si]
+		if sa.Label != sb.Label {
+			t.Errorf("%s %s: series %d label %q vs %q", profile, a.ID, si, sa.Label, sb.Label)
+			continue
+		}
+		if len(sa.X) != len(sb.X) || len(sa.Y) != len(sb.Y) {
+			t.Errorf("%s %s %s: point counts differ (%d/%d vs %d/%d)",
+				profile, a.ID, sa.Label, len(sa.X), len(sa.Y), len(sb.X), len(sb.Y))
+			continue
+		}
+		compareY := !wallClockFigures[a.ID]
+		for i := range sa.X {
+			if sa.X[i] != sb.X[i] || (compareY && sa.Y[i] != sb.Y[i]) {
+				t.Errorf("%s %s %s: point %d differs: (%v,%v) cached vs (%v,%v) uncached",
+					profile, a.ID, sa.Label, i, sa.X[i], sa.Y[i], sb.X[i], sb.Y[i])
+				break
+			}
+		}
+	}
+}

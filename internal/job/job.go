@@ -156,6 +156,12 @@ func (j *Job) Dominant(reference resource.Vector) resource.Kind {
 type Runtime struct {
 	Spec *Job
 
+	// Arrival is the job's arrival slot within this run's timeline. It
+	// starts as Spec.Arrival plus any run-local offset (e.g. the
+	// simulator's warmup shift) — run-local adjustments live here so the
+	// shared spec stays immutable across runs.
+	Arrival int
+
 	// VM is the index of the hosting VM, or -1 while unplaced.
 	VM int
 
@@ -188,9 +194,17 @@ type Runtime struct {
 	EvictedAt int
 }
 
-// NewRuntime returns a fresh runtime for the spec, unplaced and unstarted.
+// NewRuntime returns a fresh runtime for the spec, unplaced and unstarted,
+// arriving at the spec's own arrival slot.
 func NewRuntime(spec *Job) *Runtime {
-	return &Runtime{Spec: spec, VM: -1, Started: -1, Finished: -1, EvictedAt: -1}
+	return NewRuntimeAt(spec, spec.Arrival)
+}
+
+// NewRuntimeAt returns a fresh runtime for the spec arriving at the given
+// run-local slot. Use this to apply timeline offsets (warmup shifts)
+// without writing through the shared, immutable spec.
+func NewRuntimeAt(spec *Job, arrival int) *Runtime {
+	return &Runtime{Spec: spec, Arrival: arrival, VM: -1, Started: -1, Finished: -1, EvictedAt: -1}
 }
 
 // Evict resets the runtime after its hosting VM failed at the given slot:
@@ -222,7 +236,7 @@ func (r *Runtime) ResponseTime() int {
 	if r.Finished < 0 {
 		return -1
 	}
-	return r.Finished - r.Spec.Arrival + 1
+	return r.Finished - r.Arrival + 1
 }
 
 // SLOViolated reports whether a finished job exceeded its response-time

@@ -21,10 +21,13 @@ import (
 	"repro/internal/dnn"
 	"repro/internal/experiments"
 	"repro/internal/hmm"
+	"repro/internal/job"
 	"repro/internal/predict"
 	"repro/internal/resource"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 // Result is one benchmark's measurement.
@@ -46,19 +49,26 @@ type Snapshot struct {
 	// single-core machine they necessarily match the -w1 entries).
 	MaxProcs int      `json:"max_procs,omitempty"`
 	Results  []Result `json:"results"`
+	// WorkloadCache records the process-wide snapshot cache's counters
+	// over the suite run (reset at suite start), so sharing regressions —
+	// a sweep that stops hitting — are visible in the committed JSON.
+	WorkloadCache *workload.Stats `json:"workload_cache,omitempty"`
 }
 
 // nsGatePrefixes mark the benches whose ns/op regressions fail Diff: the
-// DNN and HMM compute kernels, whose regressions the perf work exists to
-// prevent. End-to-end benches (figure runs, scale sims) are recorded but
-// not gated — they are too noisy for a 10% threshold.
-var nsGatePrefixes = []string{"dnn/", "hmm/"}
+// DNN and HMM compute kernels plus the trace generators, whose regressions
+// the perf work exists to prevent. End-to-end benches (figure runs, scale
+// sims) are recorded but not gated — they are too noisy for a 10%
+// threshold.
+var nsGatePrefixes = []string{"dnn/", "hmm/", "trace/"}
 
 // allocExemptPrefixes are excluded from the allocs/op-growth gate: the
 // end-to-end runs and the pooled engine benches have timing-dependent
 // allocation counts (goroutine scheduling, map growth), so only the
-// deterministic micro-benches are held to "allocs never grow".
-var allocExemptPrefixes = []string{"figure/", "scale/", "engine/"}
+// deterministic micro-benches are held to "allocs never grow". The cold
+// quick-run bench regenerates its workload every op (that is its point),
+// so only the warm (snapshot-sharing) path is alloc-gated.
+var allocExemptPrefixes = []string{"figure/", "scale/", "engine/", "sim/run-quick-cold"}
 
 func hasAnyPrefix(name string, prefixes []string) bool {
 	for _, p := range prefixes {
@@ -87,8 +97,15 @@ func tableIINet(seed int64) (*dnn.Network, []float64, []float64) {
 // micro-benches — they are sub-second — but skips the end-to-end benches
 // (the figure run and the scale-profile single runs), which dominate wall
 // time.
-func Suite(quick bool) Snapshot {
-	snap := Snapshot{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH, MaxProcs: runtime.GOMAXPROCS(0)}
+func Suite(quick bool) (snap Snapshot) {
+	snap = Snapshot{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH, MaxProcs: runtime.GOMAXPROCS(0)}
+	// Track snapshot-cache effectiveness over this suite run only; the
+	// deferred capture lands on the named return after the last bench.
+	workload.Default.Reset()
+	defer func() {
+		st := workload.Default.Stats()
+		snap.WorkloadCache = &st
+	}()
 	add := func(name string, fn func(b *testing.B)) {
 		// Micro-benches (everything but the end-to-end figure and scale
 		// runs) take best-of-3: scheduling noise on shared machines is
@@ -250,6 +267,76 @@ func Suite(quick bool) Snapshot {
 			bench.step(i)
 		}
 	})
+	// Workload-generation benches: the redundant cost the snapshot cache
+	// exists to eliminate. trace/* are ns-gated; workload/snapshot-build
+	// is the cache's miss cost (residents + short jobs + long-job guard,
+	// history stays lazy) at the quick-figure shape.
+	add("trace/generate-residents", func(b *testing.B) {
+		caps := make([]resource.Vector, 200)
+		for i := range caps {
+			caps[i] = resource.Vector{4, 16, 180}
+		}
+		cfg := trace.ResidentConfig{Seed: 1, Horizon: 300, ReservedShare: 0.6}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.GenerateResidents(cfg, caps, job.ID(1_000_000)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("trace/generate-shortjobs", func(b *testing.B) {
+		cfg := trace.Config{Seed: 1, NumJobs: 300, ArrivalSpan: 60}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := trace.GenerateShortJobs(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("workload/snapshot-build", func(b *testing.B) {
+		p := quickWorkloadParams()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := workload.Build(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Quick-figure-shaped single runs, cold (workload regenerated inside
+	// every run, the -workload-cache=off path) vs warm (a shared prepared
+	// snapshot, what every run after the first costs inside a sweep).
+	// DRA keeps the scheduler side cheap so the generation share — the
+	// cost the cache removes — is visible in the cold/warm ratio.
+	add("sim/run-quick-cold", func(b *testing.B) {
+		prev := workload.Default.Enabled()
+		workload.Default.SetEnabled(false)
+		defer workload.Default.SetEnabled(prev)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(quickRunConfig()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("sim/run-quick-warm", func(b *testing.B) {
+		snapshot, err := sim.PrepareWorkload(quickRunConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := quickRunConfig()
+		cfg.Prepared = snapshot
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sim.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	// Engine micro-benches: one slot's Observe fan-out and one window's
 	// Refresh pass over a 200-VM CORP fleet, serial vs all cores. The
 	// fleet shapes mirror the scale profile so the scale/* end-to-end
@@ -309,6 +396,31 @@ func Suite(quick bool) Snapshot {
 		}
 	}
 	return snap
+}
+
+// quickRunConfig is the quick-figure-shaped single run (20 PMs / 60 VMs /
+// 300 jobs) the sim/run-quick-* benches time.
+func quickRunConfig() sim.Config {
+	return sim.Config{
+		NumPMs: 20, NumVMs: 60, NumJobs: 300, Seed: 1,
+		Scheduler: scheduler.Config{Scheme: scheduler.DRA, Seed: 1},
+		Clock:     &sim.VirtualClock{StepMicros: 50},
+		Workers:   1,
+	}
+}
+
+// quickWorkloadParams is the workload the quick run generates, expressed
+// directly as cache params for the snapshot-build bench.
+func quickWorkloadParams() workload.Params {
+	caps := make([]resource.Vector, 60)
+	for i := range caps {
+		caps[i] = resource.Vector{4, 16, 180}
+	}
+	return workload.Params{
+		VMCaps:    caps,
+		Residents: trace.ResidentConfig{Seed: 1, Horizon: 300, ReservedShare: 0.6},
+		Jobs:      trace.Config{Seed: 1, NumJobs: 300, ArrivalSpan: 60, VMCapacity: resource.Vector{4, 16, 180}},
+	}
 }
 
 // scaleConfig is the ≥200-VM single-run profile the scale/* benches time.

@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"repro/internal/workload"
 	"repro/internal/workpool"
 )
 
@@ -49,6 +50,36 @@ func runMany(cfgs []Config, workers int, run func(Config) (*Result, error)) ([]*
 	if claimed := workpool.ClaimUpTo(workers); claimed > 0 {
 		defer workpool.Release(claimed)
 	}
+	// Pre-build each distinct workload snapshot once, concurrently,
+	// before fanning the runs out: within a sweep the schemes ×
+	// replications share (seed, workload) keys, so the cache's
+	// singleflight generates every distinct trace exactly once here and
+	// each run receives its snapshot read-only via Config.Prepared.
+	// Skipped when the cache is disabled (-workload-cache=off): that A/B
+	// baseline regenerates inside every run, as the harness always did.
+	if workload.Default.Enabled() {
+		prepared := make([]Config, len(cfgs))
+		copy(prepared, cfgs)
+		cfgs = prepared
+		var pwg sync.WaitGroup
+		idx := make(chan int)
+		for w := 0; w < workers; w++ {
+			pwg.Add(1)
+			go func() {
+				defer pwg.Done()
+				for i := range idx {
+					prepareSafe(&cfgs[i])
+				}
+			}()
+		}
+		for i := range cfgs {
+			if cfgs[i].Prepared == nil {
+				idx <- i
+			}
+		}
+		close(idx)
+		pwg.Wait()
+	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -66,6 +97,16 @@ func runMany(cfgs []Config, workers int, run func(Config) (*Result, error)) ([]*
 	close(jobs)
 	wg.Wait()
 	return results, errors.Join(errs...)
+}
+
+// prepareSafe attaches the config's workload snapshot, swallowing errors
+// and panics: a config whose preparation fails keeps Prepared nil, and the
+// run itself regenerates and surfaces the real error on its own slot.
+func prepareSafe(cfg *Config) {
+	defer func() { _ = recover() }()
+	if snap, err := PrepareWorkload(*cfg); err == nil {
+		cfg.Prepared = snap
+	}
 }
 
 // runSafe converts a panicking run into an error on the run's own slot.

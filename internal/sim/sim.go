@@ -22,6 +22,7 @@ import (
 	"repro/internal/resource"
 	"repro/internal/scheduler"
 	"repro/internal/trace"
+	"repro/internal/workload"
 	"repro/internal/workpool"
 )
 
@@ -74,6 +75,16 @@ type Config struct {
 	// task_usage table via trace.ReadGoogleTaskUsage). Arrivals are
 	// still offset past the warmup; NumJobs is ignored.
 	ExplicitJobs []*job.Job
+
+	// Prepared supplies a pre-built workload snapshot (see
+	// PrepareWorkload) instead of generating traces inside the run. The
+	// snapshot is shared read-only — all per-run state lives on
+	// job.Runtime wrappers — so one snapshot can drive any number of
+	// concurrent runs. Its key must match what this config would
+	// generate; Run fails fast on a mismatch rather than silently
+	// simulating the wrong workload. Nil generates (or fetches from the
+	// process-wide cache, when enabled) as usual.
+	Prepared *workload.Snapshot
 
 	// RecordTimeline captures a per-slot snapshot into Result.Timeline.
 	RecordTimeline bool
@@ -265,35 +276,38 @@ func Run(cfg Config) (*Result, error) {
 	}
 	horizon := cfg.Warmup + cfg.ArrivalSpan + cfg.Drain
 
-	// Residents: one per VM, reserving and partially using capacity.
-	resCfg := cfg.Residents
-	resCfg.Seed ^= cfg.Seed
-	if resCfg.Horizon < horizon {
-		resCfg.Horizon = horizon
-	}
+	// Workload snapshot: residents, short jobs, history and long jobs for
+	// this config's (seed, workload) key — supplied pre-built, fetched
+	// from the process-wide cache, or generated here. The snapshot is
+	// shared read-only; every run-local adjustment below (the warmup
+	// arrival offsets) lands on per-run job.Runtime state, never on the
+	// shared specs.
 	vmCaps := make([]resource.Vector, len(cl.VMs))
 	for i, vm := range cl.VMs {
 		vmCaps[i] = vm.Capacity
 	}
-	residents, err := trace.GenerateResidents(resCfg, vmCaps, job.ID(1_000_000))
-	if err != nil {
-		return nil, err
+	params := workloadParams(cfg, vmCaps)
+	snap := cfg.Prepared
+	if snap == nil {
+		if snap, err = snapshotFor(params); err != nil {
+			return nil, err
+		}
+	} else if snap.Key() != params.Key() {
+		return nil, fmt.Errorf("sim: prepared workload key %.12s does not match config key %.12s", snap.Key(), params.Key())
 	}
+	residents := snap.Residents()
 
-	// Short-lived jobs, arrivals offset past the warmup. Explicit specs
-	// (e.g. a loaded real trace) take precedence over the generator.
+	// Short-lived jobs, arrivals offset past the warmup (on runtime
+	// state, below). Explicit specs (e.g. a loaded real trace) take
+	// precedence over the generator.
 	var shortJobs []*job.Job
 	if cfg.ExplicitJobs != nil {
 		shortJobs = make([]*job.Job, len(cfg.ExplicitJobs))
-		for i, orig := range cfg.ExplicitJobs {
-			if err := orig.Validate(); err != nil {
+		for i, j := range cfg.ExplicitJobs {
+			if err := j.Validate(); err != nil {
 				return nil, fmt.Errorf("sim: explicit job: %w", err)
 			}
-			// Copy the spec so arrival offsetting does not mutate the
-			// caller's data across runs.
-			j := *orig
-			j.Arrival += cfg.Warmup
-			shortJobs[i] = &j
+			shortJobs[i] = j
 		}
 		sort.SliceStable(shortJobs, func(a, b int) bool {
 			return shortJobs[a].Arrival < shortJobs[b].Arrival
@@ -302,26 +316,12 @@ func Run(cfg Config) (*Result, error) {
 		// Explicit arrivals may extend past the configured span; widen
 		// the horizon so every job gets its drain period.
 		if n := len(shortJobs); n > 0 {
-			if last := shortJobs[n-1].Arrival; last+cfg.Drain > horizon {
+			if last := shortJobs[n-1].Arrival + cfg.Warmup; last+cfg.Drain > horizon {
 				horizon = last + cfg.Drain
 			}
 		}
 	} else {
-		jobCfg := cfg.Jobs
-		jobCfg.Seed ^= cfg.Seed
-		jobCfg.NumJobs = cfg.NumJobs
-		jobCfg.ArrivalSpan = cfg.ArrivalSpan
-		if jobCfg.VMCapacity.IsZero() {
-			jobCfg.VMCapacity = cl.VMs[0].Capacity
-		}
-		generated, err := trace.GenerateShortJobs(jobCfg)
-		if err != nil {
-			return nil, err
-		}
-		for _, j := range generated {
-			j.Arrival += cfg.Warmup
-		}
-		shortJobs = generated
+		shortJobs = snap.ShortJobs()
 	}
 
 	sched, err := scheduler.New(cfg.Scheduler, cl)
@@ -351,21 +351,14 @@ func Run(cfg Config) (*Result, error) {
 	// ahead of the run. Observations only — no predictions are recorded,
 	// so the error statistics stay untouched.
 	if cfg.Scheduler.Scheme == scheduler.CORP {
-		histCfg := resCfg
-		histCfg.Seed ^= 0x415
-		histCfg.Horizon = 240
-		nHist := len(cl.VMs)
-		if nHist > 24 {
-			nHist = 24
-		}
-		history, err := trace.GenerateResidents(histCfg, vmCaps[:nHist], job.ID(2_000_000))
+		history, histHorizon, err := snap.History()
 		if err != nil {
 			return nil, err
 		}
 		// History predates the run; the bounded per-VM windows flush it
 		// naturally during the warmup as live samples displace it.
 		for v, h := range history {
-			for t := 0; t < histCfg.Horizon; t++ {
+			for t := 0; t < histHorizon; t++ {
 				sched.Observe(v, h.UnusedAt(t))
 			}
 		}
@@ -382,27 +375,14 @@ func Run(cfg Config) (*Result, error) {
 
 	runtimes := make([]*job.Runtime, len(shortJobs))
 	for i, j := range shortJobs {
-		runtimes[i] = job.NewRuntime(j)
+		runtimes[i] = job.NewRuntimeAt(j, j.Arrival+cfg.Warmup)
 	}
 
-	// Long-lived service jobs for the cooperative mixed workload.
+	// Long-lived service jobs for the cooperative mixed workload; they
+	// start arriving mid-warmup.
 	var longRuntimes []*job.Runtime
-	if cfg.LongJobs > 0 {
-		longCfg := cfg.Long
-		longCfg.Seed ^= cfg.Seed
-		longCfg.NumJobs = cfg.LongJobs
-		if longCfg.VMCapacity.IsZero() {
-			longCfg.VMCapacity = cl.VMs[0].Capacity
-		}
-		longJobs, err := trace.GenerateLongJobs(longCfg, job.ID(3_000_000))
-		if err != nil {
-			return nil, err
-		}
-		for _, j := range longJobs {
-			// Long services start arriving mid-warmup.
-			j.Arrival += cfg.Warmup / 2
-			longRuntimes = append(longRuntimes, job.NewRuntime(j))
-		}
+	for _, j := range snap.LongJobs() {
+		longRuntimes = append(longRuntimes, job.NewRuntimeAt(j, j.Arrival+cfg.Warmup/2))
 	}
 	nextLong := 0
 
@@ -442,6 +422,10 @@ func Run(cfg Config) (*Result, error) {
 	var queue []*job.Runtime
 	nextArrival := 0
 	window := sched.Window()
+	// VM capacities never change mid-run; compute the volume-normalising
+	// reference once instead of rescanning every VM per candidate in the
+	// long-job placement loop below.
+	maxVMCap := cl.MaxVMCapacity()
 
 	// Per-slot buffers, hoisted out of the loop so the hot path does not
 	// reallocate them every slot. batcher is resolved once: the engine's
@@ -501,7 +485,7 @@ func Run(cfg Config) (*Result, error) {
 
 		// 1. Place arriving long-lived jobs with the cooperating
 		// reservation method: largest guaranteed headroom first.
-		for nextLong < len(longRuntimes) && longRuntimes[nextLong].Spec.Arrival <= t {
+		for nextLong < len(longRuntimes) && longRuntimes[nextLong].Arrival <= t {
 			rt := longRuntimes[nextLong]
 			nextLong++
 			bestVM, bestVol := -1, -1.0
@@ -514,7 +498,7 @@ func Run(cfg Config) (*Result, error) {
 				if !need.FitsIn(head) {
 					continue
 				}
-				if vol := head.Volume(cl.MaxVMCapacity()); vol > bestVol {
+				if vol := head.Volume(maxVMCap); vol > bestVol {
 					bestVM, bestVol = v, vol
 				}
 			}
@@ -608,7 +592,7 @@ func Run(cfg Config) (*Result, error) {
 
 		// 4. Admit arrivals into the queue, then evicted jobs whose retry
 		// backoff has elapsed.
-		for nextArrival < len(runtimes) && runtimes[nextArrival].Spec.Arrival <= t {
+		for nextArrival < len(runtimes) && runtimes[nextArrival].Arrival <= t {
 			queue = append(queue, runtimes[nextArrival])
 			nextArrival++
 		}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/resource"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// workloadParams derives the content-address of the workload a run with
+// this (already defaulted) config generates: the generator configs with the
+// run seed folded in and every cluster-derived default resolved. Run and
+// PrepareWorkload both go through here, so a prepared snapshot and in-run
+// generation are keyed — and therefore generated — identically.
+func workloadParams(cfg Config, vmCaps []resource.Vector) workload.Params {
+	horizon := cfg.Warmup + cfg.ArrivalSpan + cfg.Drain
+
+	resCfg := cfg.Residents
+	resCfg.Seed ^= cfg.Seed
+	if resCfg.Horizon < horizon {
+		resCfg.Horizon = horizon
+	}
+
+	// Explicit specs bypass the short-job generator entirely; the
+	// snapshot then carries only residents (and long jobs, if any).
+	var jobCfg trace.Config
+	if cfg.ExplicitJobs == nil {
+		jobCfg = cfg.Jobs
+		jobCfg.Seed ^= cfg.Seed
+		jobCfg.NumJobs = cfg.NumJobs
+		jobCfg.ArrivalSpan = cfg.ArrivalSpan
+		if jobCfg.VMCapacity.IsZero() {
+			jobCfg.VMCapacity = vmCaps[0]
+		}
+	}
+
+	var longCfg trace.LongJobConfig
+	if cfg.LongJobs > 0 {
+		longCfg = cfg.Long
+		longCfg.Seed ^= cfg.Seed
+		longCfg.NumJobs = cfg.LongJobs
+		if longCfg.VMCapacity.IsZero() {
+			longCfg.VMCapacity = vmCaps[0]
+		}
+	}
+
+	return workload.Params{
+		VMCaps:    vmCaps,
+		Residents: resCfg,
+		Jobs:      jobCfg,
+		Long:      longCfg,
+	}
+}
+
+// snapshotFor returns the workload snapshot for the given params, through
+// the process-wide cache when it is enabled and by a private build when
+// not (the -workload-cache=off A/B path).
+func snapshotFor(p workload.Params) (*workload.Snapshot, error) {
+	if workload.Default.Enabled() {
+		return workload.Default.Get(p)
+	}
+	return workload.Build(p)
+}
+
+// PrepareWorkload builds (or fetches from the cache) the workload snapshot
+// the given config's Run would generate, without running the simulation.
+// The returned snapshot can be assigned to Config.Prepared and shared
+// read-only across any number of concurrent runs whose workload-affecting
+// fields match; RunMany uses this to generate each distinct workload in a
+// sweep exactly once.
+func PrepareWorkload(cfg Config) (*workload.Snapshot, error) {
+	cfg = cfg.withDefaults()
+	cl, err := cluster.New(cluster.Config{
+		Profile: cfg.Profile, NumPMs: cfg.NumPMs, NumVMs: cfg.NumVMs,
+		Heterogeneous: cfg.Heterogeneous,
+	})
+	if err != nil {
+		return nil, err
+	}
+	vmCaps := make([]resource.Vector, len(cl.VMs))
+	for i, vm := range cl.VMs {
+		vmCaps[i] = vm.Capacity
+	}
+	return snapshotFor(workloadParams(cfg, vmCaps))
+}

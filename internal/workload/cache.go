@@ -1,0 +1,155 @@
+package workload
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMaxEntries bounds the Default cache. A full figure suite needs a
+// few dozen distinct snapshots (one per seed × sweep-point workload); each
+// is a handful of megabytes at paper scale, so the bound caps steady-state
+// memory in the low hundreds of megabytes worst case.
+const DefaultMaxEntries = 64
+
+// Default is the process-wide snapshot cache. sim.Run consults it whenever
+// no pre-built snapshot was supplied, and sim.RunMany warms it before
+// fanning a sweep out, so every scheme × replication sharing a workload key
+// builds the trace exactly once. SetEnabled(false) bypasses it everywhere —
+// the A/B switch behind the -workload-cache=on|off flags.
+var Default = NewCache(DefaultMaxEntries)
+
+// Stats is a point-in-time snapshot of a cache's counters.
+type Stats struct {
+	// Hits counts Get calls served from an existing (or in-flight)
+	// snapshot — generator work avoided.
+	Hits uint64 `json:"hits"`
+	// Misses counts Get calls that built the snapshot.
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped to respect the size bound.
+	Evictions uint64 `json:"evictions"`
+	// Entries is the number of snapshots currently resident.
+	Entries int `json:"entries"`
+	// Bytes is the approximate retained payload of resident snapshots.
+	Bytes int64 `json:"bytes"`
+}
+
+// Cache is a content-addressed snapshot store with singleflight builds:
+// concurrent Gets for one key share a single generation, so a sweep that
+// fans 4 schemes × R replications out over shared workloads never builds a
+// trace twice. All methods are safe for concurrent use.
+type Cache struct {
+	enabled atomic.Bool
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	evicted atomic.Uint64
+
+	mu      sync.Mutex
+	max     int
+	entries map[string]*cacheEntry
+}
+
+// cacheEntry is one key's slot; ready is closed once snap/err are final.
+type cacheEntry struct {
+	ready chan struct{}
+	snap  *Snapshot
+	err   error
+}
+
+// NewCache returns an enabled cache holding at most maxEntries snapshots
+// (≤ 0 means DefaultMaxEntries).
+func NewCache(maxEntries int) *Cache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	c := &Cache{max: maxEntries, entries: make(map[string]*cacheEntry)}
+	c.enabled.Store(true)
+	return c
+}
+
+// Enabled reports whether callers should use the cache.
+func (c *Cache) Enabled() bool { return c.enabled.Load() }
+
+// SetEnabled flips cache use on or off. Disabling does not drop resident
+// entries (Reset does); it only steers callers to build privately.
+func (c *Cache) SetEnabled(on bool) { c.enabled.Store(on) }
+
+// Get returns the snapshot for p, building it at most once per key no
+// matter how many goroutines ask concurrently. Failed builds are not
+// cached; the next Get for the key retries.
+func (c *Cache) Get(p Params) (*Snapshot, error) {
+	key := p.Key()
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		<-e.ready
+		return e.snap, e.err
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.evictLocked()
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	e.snap, e.err = Build(p)
+	if e.err != nil {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	close(e.ready)
+	return e.snap, e.err
+}
+
+// evictLocked drops one completed entry when the cache is full. The victim
+// is whichever completed entry map iteration yields first — a coarse random
+// policy, which is fine for a cache whose working set (one figure's seeds)
+// fits well under the bound. In-flight builds are never evicted.
+func (c *Cache) evictLocked() {
+	if len(c.entries) < c.max {
+		return
+	}
+	for k, e := range c.entries {
+		select {
+		case <-e.ready:
+			delete(c.entries, k)
+			c.evicted.Add(1)
+			return
+		default:
+		}
+	}
+}
+
+// Stats returns the cache's current counters.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evicted.Load(),
+	}
+	c.mu.Lock()
+	s.Entries = len(c.entries)
+	for _, e := range c.entries {
+		select {
+		case <-e.ready:
+			if e.snap != nil {
+				s.Bytes += e.snap.Bytes()
+			}
+		default:
+		}
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// Reset drops every resident snapshot and zeroes the counters. In-flight
+// builds complete and are returned to their waiters but are forgotten by
+// the cache.
+func (c *Cache) Reset() {
+	c.mu.Lock()
+	c.entries = make(map[string]*cacheEntry)
+	c.mu.Unlock()
+	c.hits.Store(0)
+	c.misses.Store(0)
+	c.evicted.Store(0)
+}
