@@ -52,12 +52,13 @@ bench-diff:
 # growth in any non-engine bench (predictor refresh paths included); from
 # `make check` it is invoked with PERF_FATAL=0 so a noisy CI box warns
 # instead of blocking.
-# The cache-equivalence test is the correctness side of the perf work: it
-# pins every figure series bit-identical with the workload snapshot cache
-# on vs off, so a perf "win" can never silently change results.
+# The equivalence tests are the correctness side of the perf work: they
+# pin every figure series bit-identical with the workload snapshot cache
+# on vs off, and with the event-queue core vs the reference slot loop, so
+# a perf "win" can never silently change results.
 PERF_FATAL ?= 1
 check-perf:
-	$(GO) test -count=1 -run TestWorkloadCacheEquivalence ./internal/experiments
+	$(GO) test -count=1 -run 'TestWorkloadCacheEquivalence|TestFigureCoreEquivalence' ./internal/experiments
 	@latest="$$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1)"; \
 	if [ -z "$$latest" ]; then echo "check-perf: no committed BENCH_*.json; skipping"; exit 0; fi; \
 	tmp="$$(mktemp)"; \

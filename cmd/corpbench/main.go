@@ -11,6 +11,8 @@
 //	-workers    intra-run prediction-engine workers per simulation
 //	            (0 = auto from the shared budget, 1 = serial; figures
 //	            are identical at any value)
+//	-core       event | slot simulator core (default event; figures are
+//	            bit-identical either way — see the core-equivalence test)
 //	-workload-cache  on | off: share generated workload snapshots across
 //	            the sweep's runs (default on; figures are bit-identical
 //	            either way — see the cache-equivalence test)
@@ -46,6 +48,7 @@ import (
 	"repro"
 	"repro/internal/experiments"
 	"repro/internal/perf"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -61,6 +64,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 1, "workload seed")
 	quick := fs.Bool("quick", true, "small cluster and 3-point sweeps")
 	workers := fs.Int("workers", 0, "intra-run prediction-engine workers per simulation (0 = auto, 1 = serial)")
+	coreName := fs.String("core", "event", "simulator core: event or slot (bit-identical figures)")
 	wlCache := fs.String("workload-cache", "on", "share generated workload snapshots across runs: on or off")
 	list := fs.Bool("list", false, "print the available figure ids and exit")
 	md := fs.Bool("md", false, "render the output as a Markdown report")
@@ -122,7 +126,11 @@ func run(args []string, out io.Writer) error {
 		return runBenchJSON(out, *benchOut, *benchQuick)
 	}
 
-	opts := corp.Options{Seed: *seed, Quick: *quick, Workers: *workers}
+	core, err := sim.ParseCore(*coreName)
+	if err != nil {
+		return err
+	}
+	opts := corp.Options{Seed: *seed, Quick: *quick, Workers: *workers, Core: core}
 	ids := []string{*fig}
 	if *fig == "all" {
 		ids = corp.FigureIDs()

@@ -5,7 +5,9 @@
 //	corpsim [flags]
 //
 //	-scheme   CORP | RCCR | CloudScale | DRA        (default CORP)
-//	-profile  cluster | ec2                          (default cluster)
+//	-profile  cluster | ec2 | scale                  (default cluster)
+//	-core     event | slot simulator core            (default event;
+//	          results are bit-identical, only wall time changes)
 //	-jobs     number of short-lived jobs             (default 300)
 //	-pms      physical machines (0 = profile default)
 //	-vms      virtual machines  (0 = profile default)
@@ -56,7 +58,8 @@ func main() {
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("corpsim", flag.ContinueOnError)
 	schemeName := fs.String("scheme", "CORP", "provisioning scheme: CORP, RCCR, CloudScale or DRA")
-	profileName := fs.String("profile", "cluster", "testbed profile: cluster or ec2")
+	profileName := fs.String("profile", "cluster", "testbed profile: cluster, ec2 or scale")
+	coreName := fs.String("core", "event", "simulator core: event or slot (bit-identical results)")
 	jobs := fs.Int("jobs", 300, "number of short-lived jobs")
 	pms := fs.Int("pms", 0, "physical machines (0 = profile default)")
 	vms := fs.Int("vms", 0, "virtual machines (0 = profile default)")
@@ -94,9 +97,14 @@ func run(args []string, out *os.File) error {
 	if err != nil {
 		return err
 	}
+	core, err := sim.ParseCore(*coreName)
+	if err != nil {
+		return err
+	}
 
 	cfg := sim.Config{
 		Profile: profile,
+		Core:    core,
 		NumPMs:  *pms,
 		NumVMs:  *vms,
 		NumJobs: *jobs,
@@ -165,6 +173,8 @@ func parseProfile(name string) (cluster.Profile, error) {
 		return cluster.ProfileCluster, nil
 	case "ec2":
 		return cluster.ProfileEC2, nil
+	case "scale":
+		return cluster.ProfileScale, nil
 	default:
 		return 0, fmt.Errorf("unknown profile %q", name)
 	}

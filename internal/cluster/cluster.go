@@ -163,6 +163,11 @@ const (
 	ProfileCluster Profile = iota
 	// ProfileEC2 is the 30-node Amazon EC2 deployment.
 	ProfileEC2
+	// ProfileScale is the synthetic at-scale testbed: the Palmetto node
+	// model scaled two orders of magnitude out to 5000 PMs carved into
+	// 20000 VMs, for exercising the event-driven simulator core far past
+	// the paper's 50-node evaluation (ROADMAP: production-scale worlds).
+	ProfileScale
 )
 
 // String names the profile.
@@ -172,6 +177,8 @@ func (p Profile) String() string {
 		return "cluster"
 	case ProfileEC2:
 		return "ec2"
+	case ProfileScale:
+		return "scale"
 	default:
 		return fmt.Sprintf("Profile(%d)", int(p))
 	}
@@ -206,6 +213,17 @@ func New(cfg Config) (*Cluster, error) {
 		return newCluster(cfg)
 	case ProfileEC2:
 		return newEC2(cfg)
+	case ProfileScale:
+		// Same SL230 node model and LAN fabric as the cluster profile,
+		// defaulted to 5000 PMs × 4 VMs each (the cluster profile's
+		// per-PM carve) so per-VM capacities match across profiles.
+		if cfg.NumPMs <= 0 {
+			cfg.NumPMs = 5000
+		}
+		if cfg.NumVMs <= 0 {
+			cfg.NumVMs = 4 * cfg.NumPMs
+		}
+		return newCluster(cfg)
 	default:
 		return nil, fmt.Errorf("cluster: unknown profile %v", cfg.Profile)
 	}

@@ -11,8 +11,37 @@ func TestProfileString(t *testing.T) {
 	if ProfileCluster.String() != "cluster" || ProfileEC2.String() != "ec2" {
 		t.Error("profile names wrong")
 	}
+	if ProfileScale.String() != "scale" {
+		t.Error("scale profile name wrong")
+	}
 	if Profile(9).String() != "Profile(9)" {
 		t.Error("unknown profile name wrong")
+	}
+}
+
+func TestNewScaleProfile(t *testing.T) {
+	// Overriding NumPMs keeps the test cheap; the per-PM carve and fabric
+	// must still match the cluster profile so figures are comparable.
+	c, err := New(Config{Profile: ProfileScale, NumPMs: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.PMs) != 10 || len(c.VMs) != 40 {
+		t.Errorf("PMs,VMs = %d,%d, want 10,40", len(c.PMs), len(c.VMs))
+	}
+	if want := resource.New(4, 16, 180); c.VMs[0].Capacity != want {
+		t.Errorf("VM capacity = %v, want %v", c.VMs[0].Capacity, want)
+	}
+	if c.CommLatencyMicros != 50 {
+		t.Errorf("CommLatencyMicros = %v, want 50 (LAN fabric)", c.CommLatencyMicros)
+	}
+	// Full-size defaults, checked without building the 20000-VM world.
+	big, err := New(Config{Profile: ProfileScale, NumPMs: 5000, NumVMs: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(big.PMs) != 5000 || len(big.VMs) != 20000 {
+		t.Errorf("default scale world = %d PMs, %d VMs, want 5000, 20000", len(big.PMs), len(big.VMs))
 	}
 }
 

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// TestFigureCoreEquivalence pins the tentpole contract at figure
+// granularity: every series — both profiles, quick mode, including the
+// faulted extension figure — is bit-identical whether the event-queue core
+// (the default) or the reference slot loop drives the runs. Together with
+// the workload-cache gate it is wired into `make check-perf`.
+func TestFigureCoreEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure equivalence sweep is slow; run without -short")
+	}
+	for _, profile := range []cluster.Profile{cluster.ProfileCluster, cluster.ProfileEC2} {
+		event, err := runFigureSet(Options{Profile: profile, Seed: 11, Quick: true, Core: sim.CoreEvent})
+		if err != nil {
+			t.Fatalf("%s event run: %v", profile, err)
+		}
+		slot, err := runFigureSet(Options{Profile: profile, Seed: 11, Quick: true, Core: sim.CoreSlot})
+		if err != nil {
+			t.Fatalf("%s slot run: %v", profile, err)
+		}
+		if len(event) != len(slot) {
+			t.Fatalf("%s: %d figures event vs %d slot", profile, len(event), len(slot))
+		}
+		for i := range event {
+			compareFigures(t, profile.String(), event[i], slot[i])
+		}
+		t.Logf("%s: %d figures identical across cores", profile, len(event))
+	}
+}

@@ -42,6 +42,10 @@ type Options struct {
 	// (sim.Config.Workers): 0 claims from the shared budget, 1 is serial.
 	// Figures are identical at any value; only wall time changes.
 	Workers int
+	// Core selects the simulator core (sim.Config.Core). The default
+	// event core and the reference slot loop produce bit-identical
+	// figures — pinned by the core-equivalence test.
+	Core sim.Core
 }
 
 // jobCounts returns the Fig. 6/7/11 x-axis: 50–300 jobs step 50 (paper),
@@ -141,6 +145,7 @@ func (o Options) baseConfig(sc scheduler.Scheme, jobs int) sim.Config {
 			Seed:   o.Seed,
 		},
 		Workers: o.Workers,
+		Core:    o.Core,
 	}
 	// Fleet runs feed the shared DNN from every VM each slot; a light
 	// replay factor keeps accuracy without quadratic training cost.

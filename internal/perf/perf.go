@@ -68,7 +68,9 @@ var nsGatePrefixes = []string{"dnn/", "hmm/", "trace/"}
 // deterministic micro-benches are held to "allocs never grow". The cold
 // quick-run bench regenerates its workload every op (that is its point),
 // so only the warm (snapshot-sharing) path is alloc-gated.
-var allocExemptPrefixes = []string{"figure/", "scale/", "engine/", "sim/run-quick-cold"}
+// sim/*-wmax runs shard across goroutines, so their alloc counts are
+// timing-dependent too.
+var allocExemptPrefixes = []string{"figure/", "scale/", "engine/", "sim/run-quick-cold", "sim/event-core-wmax"}
 
 func hasAnyPrefix(name string, prefixes []string) bool {
 	for _, p := range prefixes {
@@ -337,6 +339,35 @@ func Suite(quick bool) (snap Snapshot) {
 			}
 		}
 	})
+	// Core-comparison benches: the same warm quick run driven by the
+	// event-queue core (the default) and the reference slot loop. Results
+	// are bit-identical (the core-equivalence tests), so the ratio is the
+	// event core's net cost/savings on a dense little world; the wmax
+	// entry adds the sharded executor on top.
+	{
+		snapshot, err := sim.PrepareWorkload(quickRunConfig())
+		if err != nil {
+			panic(fmt.Sprintf("perf: prepare core bench workload: %v", err))
+		}
+		coreBench := func(core sim.Core, workers int) func(b *testing.B) {
+			return func(b *testing.B) {
+				cfg := quickRunConfig()
+				cfg.Prepared = snapshot
+				cfg.Core = core
+				cfg.Workers = workers
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		add("sim/event-core-w1", coreBench(sim.CoreEvent, 1))
+		add("sim/event-core-wmax", coreBench(sim.CoreEvent, runtime.GOMAXPROCS(0)))
+		add("sim/slot-core-w1", coreBench(sim.CoreSlot, 1))
+	}
 	// Engine micro-benches: one slot's Observe fan-out and one window's
 	// Refresh pass over a 200-VM CORP fleet, serial vs all cores. The
 	// fleet shapes mirror the scale profile so the scale/* end-to-end
@@ -366,6 +397,17 @@ func Suite(quick bool) (snap Snapshot) {
 				sched.Refresh()
 			}
 		})
+		// One slot's Observe fan-out at the scale profile's fleet size
+		// (20000 VMs) with RCCR's cheap predictors: the per-slot telemetry
+		// floor of the scale/sim-scale5k-* end-to-end runs.
+		add("engine/scale-observe20k-"+eng.suffix, func(b *testing.B) {
+			bo, _, unused := scaleFleet(b, eng.workers)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bo.ObserveAll(unused, nil)
+			}
+		})
 	}
 	if !quick {
 		add("figure/fig06-quick", func(b *testing.B) {
@@ -393,6 +435,32 @@ func Suite(quick bool) (snap Snapshot) {
 					}
 				}
 			})
+		}
+		// The event core's headline workload: the scale testbed profile
+		// (5000 PMs / 20000 VMs) under a 350k-job burst that holds over
+		// 100k short jobs in flight at peak (see EXPERIMENTS.md). The
+		// workload is prepared once outside the timer — generation is not
+		// what these entries track.
+		{
+			snapshot, err := sim.PrepareWorkload(scaleProfileConfig(1))
+			if err != nil {
+				panic(fmt.Sprintf("perf: prepare scale-profile workload: %v", err))
+			}
+			for _, eng := range []struct {
+				suffix  string
+				workers int
+			}{{"w1", 1}, {"wmax", runtime.GOMAXPROCS(0)}} {
+				eng := eng
+				add("scale/sim-scale5k-rccr-"+eng.suffix, func(b *testing.B) {
+					cfg := scaleProfileConfig(eng.workers)
+					cfg.Prepared = snapshot
+					for i := 0; i < b.N; i++ {
+						if _, err := sim.Run(cfg); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
 		}
 	}
 	return snap
@@ -432,6 +500,55 @@ func scaleConfig(workers int) sim.Config {
 		Clock:     &sim.VirtualClock{StepMicros: 50},
 		Workers:   workers,
 	}
+}
+
+// scaleProfileConfig is the scale-testbed single run the
+// scale/sim-scale5k-* benches time: the ProfileScale world (5000 PMs /
+// 20000 VMs) under a 350k-job RCCR burst. Jobs are deliberately small
+// (VMCapacity-scaled well below the real VM carve) and long
+// (MeanDuration at the 30-slot short-job cap, arriving over 60 slots),
+// so at peak well over 100k short jobs are in flight — the regime the
+// event core's sharded executor is for; TestScaleProfileConcurrency
+// measures the peak. RCCR keeps the per-VM predictors cheap; CORP's
+// per-VM DNNs at 20000 VMs would measure the predictor fleet, not the
+// simulator core.
+func scaleProfileConfig(workers int) sim.Config {
+	cfg := sim.Config{
+		Profile: cluster.ProfileScale,
+		NumJobs: 350_000, Seed: 1,
+		Warmup: 30, ArrivalSpan: 60, Drain: 90,
+		Scheduler: scheduler.Config{Scheme: scheduler.RCCR, Seed: 1},
+		Clock:     &sim.VirtualClock{StepMicros: 50},
+		Workers:   workers,
+	}
+	cfg.Jobs.MeanDuration = 30
+	cfg.Jobs.VMCapacity = resource.Vector{0.5, 2, 8}
+	return cfg
+}
+
+// scaleFleet builds the scale profile's 20000-VM RCCR scheduler plus one
+// plausible unused-telemetry slot for the engine/scale-observe20k bench.
+func scaleFleet(b *testing.B, workers int) (scheduler.BatchObserver, scheduler.Scheduler, []resource.Vector) {
+	b.Helper()
+	cl, err := cluster.New(cluster.Config{Profile: cluster.ProfileScale})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched, err := scheduler.New(scheduler.Config{Scheme: scheduler.RCCR, Seed: 1, Workers: workers}, cl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bo, ok := sched.(scheduler.BatchObserver)
+	if !ok {
+		b.Fatal("RCCR scheduler does not implement BatchObserver")
+	}
+	unused := make([]resource.Vector, len(cl.VMs))
+	for v := range unused {
+		c := cl.VMs[v].Capacity
+		f := 0.3 + 0.4*float64(v%7)/7
+		unused[v] = resource.Vector{c[0] * f, c[1] * f * 0.9, c[2] * f * 0.7}
+	}
+	return bo, sched, unused
 }
 
 // engineFleet builds a 200-VM CORP scheduler with a warmed predictor

@@ -1,0 +1,40 @@
+package perf
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestScaleProfileConcurrency measures the scale-profile scenario's shape:
+// peak short jobs in flight (running + queued) must clear 100k, the regime
+// the profile exists to exercise. The full 20000-VM run takes minutes, so
+// the test only runs when CORP_SCALE=1 is set; its measured numbers are
+// recorded in EXPERIMENTS.md next to the scale/sim-scale5k-* bench entries.
+func TestScaleProfileConcurrency(t *testing.T) {
+	if os.Getenv("CORP_SCALE") == "" {
+		t.Skip("set CORP_SCALE=1 to run the minutes-long scale-profile measurement")
+	}
+	cfg := scaleProfileConfig(1)
+	cfg.RecordTimeline = true
+	start := time.Now()
+	res, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wall := time.Since(start)
+	peak, peakSlot := 0, 0
+	for _, p := range res.Timeline {
+		if inFlight := p.RunningShort + p.Queued; inFlight > peak {
+			peak, peakSlot = inFlight, p.Slot
+		}
+	}
+	t.Logf("scale profile: %d jobs over %d slots in %.1fs; peak in-flight %d (slot %d), placed opp %d fresh %d, never %d",
+		res.NumJobs, res.Slots, wall.Seconds(), peak, peakSlot,
+		res.PlacedOpportunistic, res.PlacedFresh, res.NeverPlaced)
+	if peak < 100_000 {
+		t.Errorf("peak in-flight short jobs = %d, want >= 100000", peak)
+	}
+}

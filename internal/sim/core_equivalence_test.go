@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/scheduler"
+)
+
+// coreScenario is one slot-vs-event equivalence case. The matrix covers
+// every scheme, fault injection (the retry/evPlace re-arm paths), the
+// cooperative mixed workload (long-arrival events), timeline recording
+// (per-slot ledger sums) and the EC2 profile.
+type coreScenario struct {
+	name string
+	cfg  func() Config
+}
+
+func coreScenarios() []coreScenario {
+	base := func(sc scheduler.Scheme, seed int64) Config {
+		return Config{
+			NumPMs: 6, NumVMs: 24, NumJobs: 40, Seed: seed,
+			Warmup: 40, ArrivalSpan: 30, Drain: 60,
+			Scheduler: scheduler.Config{Scheme: sc, Seed: seed},
+			Clock:     &VirtualClock{StepMicros: 50},
+			Workers:   1,
+		}
+	}
+	var scen []coreScenario
+	for _, sc := range append(scheduler.Schemes(), scheduler.Oracle) {
+		sc := sc
+		scen = append(scen, coreScenario{sc.String(), func() Config { return base(sc, 7) }})
+	}
+	scen = append(scen,
+		coreScenario{"faulted", func() Config {
+			cfg := base(scheduler.CORP, 11)
+			cfg.Faults = faults.Config{
+				Seed: 11, VMCrashProb: 0.01, MeanDowntime: 12,
+				SurgeProb: 0.02, DelayProb: 0.05,
+			}
+			return cfg
+		}},
+		coreScenario{"mixed-long", func() Config {
+			cfg := base(scheduler.CORP, 9)
+			cfg.LongJobs = 8
+			return cfg
+		}},
+		coreScenario{"timeline", func() Config {
+			cfg := base(scheduler.RCCR, 5)
+			cfg.RecordTimeline = true
+			return cfg
+		}},
+		coreScenario{"ec2", func() Config {
+			cfg := base(scheduler.CORP, 3)
+			cfg.Profile = cluster.ProfileEC2
+			cfg.NumPMs, cfg.NumVMs = 0, 0
+			return cfg
+		}},
+	)
+	return scen
+}
+
+// TestCoreEquivalence is the tentpole's acceptance pin: for every
+// scenario, the event-queue core must reproduce the slot loop's Result —
+// every metric, timeline point and overhead microsecond — bit for bit.
+func TestCoreEquivalence(t *testing.T) {
+	for _, sc := range coreScenarios() {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			slotCfg := sc.cfg()
+			slotCfg.Core = CoreSlot
+			want, err := Run(slotCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eventCfg := sc.cfg()
+			eventCfg.Core = CoreEvent
+			got, err := Run(eventCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("event core diverged from slot loop:\n slot:  %+v\n event: %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestCoreEquivalenceParallel repeats the pin with the sharded executor
+// running wide: slot loop at 1 worker versus event core at several worker
+// counts. The positional merge means worker count can only change wall
+// time, never a figure; running under -race also exercises the shard for
+// data races (the race Make target covers this package).
+func TestCoreEquivalenceParallel(t *testing.T) {
+	counts := []int{2, 4, runtime.GOMAXPROCS(0)}
+	for _, sc := range []coreScenario{coreScenarios()[0], coreScenarios()[5], coreScenarios()[6]} {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			slotCfg := sc.cfg()
+			slotCfg.Core = CoreSlot
+			want, err := Run(slotCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range counts {
+				cfg := sc.cfg()
+				cfg.Core = CoreEvent
+				cfg.Workers = w
+				got, err := Run(cfg)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", w, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("event core (workers=%d) diverged from serial slot loop", w)
+				}
+			}
+		})
+	}
+}
+
+// TestCoreParseAndString pins the CLI surface of the core selector.
+func TestCoreParseAndString(t *testing.T) {
+	for _, c := range []Core{CoreEvent, CoreSlot} {
+		got, err := ParseCore(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCore(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseCore("tick"); err == nil {
+		t.Error("ParseCore accepted an unknown core")
+	}
+	if _, err := Run(Config{NumPMs: 2, NumVMs: 4, NumJobs: 5, Core: Core(7), Workers: 1}); err == nil {
+		t.Error("Run accepted an unknown core")
+	}
+}

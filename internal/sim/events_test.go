@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestEventQueueOrdering pins the heap's total order: timestamp first,
+// then event kind (the slot loop's phase order), then VM/job index, then
+// creation sequence.
+func TestEventQueueOrdering(t *testing.T) {
+	var q eventQueue
+	// Push a slot's phases out of order at two timestamps plus index ties.
+	q.Push(2, evExecute, 0)
+	q.Push(1, evPlace, 0)
+	q.Push(1, evFault, 0)
+	q.Push(1, evRetry, 9)
+	q.Push(1, evRetry, 4)
+	q.Push(1, evArrival, 0)
+	q.Push(2, evFault, 0)
+	q.Push(1, evTelemetry, 0)
+
+	want := []event{
+		{time: 1, kind: evFault},
+		{time: 1, kind: evTelemetry},
+		{time: 1, kind: evArrival},
+		{time: 1, kind: evRetry, index: 4},
+		{time: 1, kind: evRetry, index: 9},
+		{time: 1, kind: evPlace},
+		{time: 2, kind: evFault},
+		{time: 2, kind: evExecute},
+	}
+	if !q.HasPendingEvents() || q.PeekNextEventTime() != 1 {
+		t.Fatalf("peek = %d, want 1", q.PeekNextEventTime())
+	}
+	for i, w := range want {
+		got := q.pop()
+		if got.time != w.time || got.kind != w.kind || got.index != w.index {
+			t.Fatalf("pop %d = {t%d k%d i%d}, want {t%d k%d i%d}",
+				i, got.time, got.kind, got.index, w.time, w.kind, w.index)
+		}
+	}
+	if q.HasPendingEvents() {
+		t.Fatal("queue not drained")
+	}
+}
+
+// TestEventQueueSeqTieBreak: identical (time, kind, index) events pop in
+// creation order, so duplicate retry releases stay deterministic.
+func TestEventQueueSeqTieBreak(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 5; i++ {
+		q.Push(3, evRetry, 1)
+	}
+	var prev uint64
+	for i := 0; i < 5; i++ {
+		e := q.pop()
+		if e.seq <= prev {
+			t.Fatalf("pop %d: seq %d not increasing past %d", i, e.seq, prev)
+		}
+		prev = e.seq
+	}
+}
+
+// TestEventQueueRandomized cross-checks the hand-rolled heap against a
+// sorted reference on a few thousand random push/pop interleavings.
+func TestEventQueueRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q eventQueue
+	var ref []event
+	for i := 0; i < 5000; i++ {
+		if rng.Intn(3) > 0 || len(ref) == 0 {
+			tm, k, idx := rng.Intn(50), eventKind(rng.Intn(8)), rng.Intn(10)
+			q.Push(tm, k, idx)
+			ref = append(ref, event{time: tm, kind: k, index: idx, seq: q.seq})
+		} else {
+			sort.Slice(ref, func(a, b int) bool { return ref[a].before(ref[b]) })
+			got, want := q.pop(), ref[0]
+			ref = ref[1:]
+			if got != want {
+				t.Fatalf("step %d: pop %+v, want %+v", i, got, want)
+			}
+		}
+	}
+}

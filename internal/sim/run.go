@@ -1,0 +1,611 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/faults"
+	"repro/internal/job"
+	"repro/internal/metrics"
+	"repro/internal/predict"
+	"repro/internal/resource"
+	"repro/internal/scheduler"
+)
+
+// pendingRetry is an evicted job waiting out its backoff before re-entering
+// the arrival queue.
+type pendingRetry struct {
+	rt *job.Runtime
+	at int
+}
+
+// runState carries one run's mutable state through the per-slot phases.
+// Both execution cores — the fixed-tick slot loop and the event queue —
+// drive exactly these phase methods, in the same order at every simulated
+// time, so their results are bit-identical by construction (pinned by the
+// core-equivalence tests).
+type runState struct {
+	cfg     Config
+	cl      *cluster.Cluster
+	sched   scheduler.Scheduler
+	clk     Clock
+	inj     *faults.Injector
+	res     *Result
+	horizon int
+	window  int
+	workers int
+
+	vms          []*vmState
+	runtimes     []*job.Runtime
+	longRuntimes []*job.Runtime
+	nextArrival  int
+	nextLong     int
+	retries      []pendingRetry
+	queue        []*job.Runtime
+	maxVMCap     resource.Vector
+
+	collector        metrics.UtilizationCollector
+	clusterCollector metrics.UtilizationCollector
+	outcomes         []predict.ErrorSample
+
+	// Per-slot scratch, hoisted so the hot path does not reallocate.
+	surge       []float64
+	unused      []resource.Vector
+	residentUse []resource.Vector
+	downMask    []bool
+	surgeHits   []int
+	views       []scheduler.VMView
+	batcher     scheduler.BatchObserver
+	hasBatcher  bool
+	exec        []vmExecRecord
+
+	// Event-core state; unused by the slot loop.
+	useEvents    bool
+	events       eventQueue
+	placeArmedAt int
+}
+
+// initScratch sizes the per-slot buffers once.
+func (rs *runState) initScratch() {
+	n := len(rs.vms)
+	rs.unused = make([]resource.Vector, n)
+	rs.residentUse = make([]resource.Vector, n)
+	rs.downMask = make([]bool, n)
+	rs.surgeHits = make([]int, n)
+	rs.views = make([]scheduler.VMView, n)
+	rs.exec = make([]vmExecRecord, n)
+	rs.batcher, rs.hasBatcher = rs.sched.(scheduler.BatchObserver)
+	rs.placeArmedAt = -1
+}
+
+// runSlotLoop is the original fixed-tick core: every phase is offered every
+// slot, with the same cheap guards the monolithic loop used.
+func (rs *runState) runSlotLoop() error {
+	for t := 0; t < rs.horizon; t++ {
+		if rs.inj != nil {
+			rs.advanceFaults(t)
+		}
+		rs.placeLongArrivals(t)
+		rs.observe(t)
+		if t%rs.window == 0 {
+			rs.refreshWindow(t)
+		}
+		rs.admitArrivals(t)
+		rs.admitRetries(t)
+		if len(rs.queue) > 0 {
+			if err := rs.placeQueued(t); err != nil {
+				return err
+			}
+		}
+		rs.executeSlot(t)
+	}
+	return nil
+}
+
+// advanceFaults is phase 0: complete repairs, crash VMs/PMs and evict their
+// jobs into the retry queue, and record the slot's surge factors and
+// control-plane stalls. Only called when an injector exists.
+func (rs *runState) advanceFaults(t int) {
+	res := rs.res
+	ev := rs.inj.Advance(t)
+	res.Recovery.PMCrashes += ev.PMCrashes
+	for _, v := range ev.Recovered {
+		rs.vms[v].down = false
+		res.Recovery.VMRecoveries++
+	}
+	for _, v := range ev.Crashed {
+		st := rs.vms[v]
+		st.down = true
+		res.Recovery.VMCrashes++
+		for _, rt := range st.running {
+			rt.Evict(t)
+			res.Recovery.Evictions++
+			if rt.Retries >= rs.inj.Config().MaxRetries {
+				// Retry budget exhausted: the job is abandoned and will
+				// be accounted as an unfinished, failure-attributed SLO
+				// violation.
+				res.Recovery.RetriesExhausted++
+				continue
+			}
+			rt.Retries++
+			res.Recovery.Retries++
+			at := t + rs.inj.Config().Backoff(rt.Retries)
+			rs.retries = append(rs.retries, pendingRetry{rt, at})
+			if rs.useEvents {
+				rs.events.Push(at, evRetry, int(rt.Spec.ID))
+			}
+		}
+		// Long-lived jobs die with the VM and are not retried; their
+		// guaranteed reservations return to the pool.
+		res.LongFailed += len(st.longRunning)
+		st.running = nil
+		st.longRunning = nil
+		st.freshInUse = resource.Vector{}
+		st.oppInUse = resource.Vector{}
+		st.longReserved = resource.Vector{}
+	}
+	if ev.DelayMicros > 0 {
+		res.Overhead.AddComm(ev.DelayMicros)
+		res.Recovery.Delays++
+		res.Recovery.InjectedDelayMicros += ev.DelayMicros
+	}
+	rs.surge = ev.Surge
+}
+
+// placeLongArrivals is phase 1: place arriving long-lived jobs with the
+// cooperating reservation method, largest guaranteed headroom first.
+func (rs *runState) placeLongArrivals(t int) {
+	for rs.nextLong < len(rs.longRuntimes) && rs.longRuntimes[rs.nextLong].Arrival <= t {
+		rt := rs.longRuntimes[rs.nextLong]
+		rs.nextLong++
+		bestVM, bestVol := -1, -1.0
+		need := rt.Spec.Request
+		for v, st := range rs.vms {
+			if st.down {
+				continue
+			}
+			head := st.freshHeadroom()
+			if !need.FitsIn(head) {
+				continue
+			}
+			if vol := head.Volume(rs.maxVMCap); vol > bestVol {
+				bestVM, bestVol = v, vol
+			}
+		}
+		if bestVM < 0 {
+			rs.res.LongUnplaced++
+			continue
+		}
+		st := rs.vms[bestVM]
+		st.longReserved = st.longReserved.Add(need)
+		rt.VM = bestVM
+		rt.Started = t
+		rt.Allocated = need
+		st.longRunning = append(st.longRunning, rt)
+		rs.res.LongPlaced++
+	}
+}
+
+// observe is phase 2: compute the actual unused resources (prediction
+// target) per VM — the residents' slack, shrunk by any demand surge, plus
+// the running long jobs' slack — and feed them to the predictor fleet.
+// Failed VMs report no telemetry and offer no pool. The per-VM samples are
+// independent ledger reads, so they shard across the worker budget with
+// positional writes; the surge counter merges as an order-free int sum.
+func (rs *runState) observe(t int) {
+	surge := rs.surge
+	shardIndexes(rs.workers, len(rs.vms), func(v int) {
+		st := rs.vms[v]
+		rs.downMask[v] = st.down
+		rs.surgeHits[v] = 0
+		if st.down {
+			rs.unused[v] = resource.Vector{}
+			rs.residentUse[v] = resource.Vector{}
+			return
+		}
+		rs.residentUse[v] = st.resident.DemandAt(t)
+		u := st.resident.UnusedAt(t)
+		if surge != nil && surge[v] > 1 {
+			rs.residentUse[v] = rs.residentUse[v].Scale(surge[v]).Min(st.reserved)
+			u = st.reserved.Sub(rs.residentUse[v]).ClampNonNegative()
+			rs.surgeHits[v] = 1
+		}
+		for _, rt := range st.longRunning {
+			u = u.Add(rt.Spec.Request.Sub(rt.Spec.DemandAt(rt.Slots)).ClampNonNegative())
+		}
+		rs.unused[v] = u
+	})
+	if rs.inj != nil {
+		for _, hit := range rs.surgeHits {
+			rs.res.Recovery.SurgeSlots += hit
+		}
+	}
+	if rs.hasBatcher {
+		rs.batcher.ObserveAll(rs.unused, rs.downMask)
+	} else {
+		for v := range rs.vms {
+			if !rs.downMask[v] {
+				rs.sched.Observe(v, rs.unused[v])
+			}
+		}
+	}
+}
+
+// refreshWindow is phase 3: refresh forecasts (timed — this is the
+// prediction part of the allocation path), let adjusting schemes re-size
+// running jobs' allocations, and charge the status-RPC fan-out.
+func (rs *runState) refreshWindow(t int) {
+	start := rs.clk.Now()
+	rs.sched.Refresh()
+	if adj, ok := rs.sched.(scheduler.Adjuster); ok {
+		applyAdjustments(rs.vms, adj)
+	}
+	rs.res.Overhead.AddCompute(rs.clk.Now() - start)
+	// One status RPC per VM to collect utilization reports; in a real
+	// deployment this communication dominates the control loop, with the
+	// predictor's compute as the increment on top (the paper: CORP's DNN
+	// "increases the latency a little").
+	for range rs.vms {
+		rs.res.Overhead.AddComm(rs.cl.CommLatencyMicros)
+	}
+}
+
+// applyAdjustments re-sizes every running short job's allocation to the
+// scheme's corrected amount. Opportunistic jobs swap their allocation
+// freely (risk lands at execute time when the pool runs short); fresh jobs
+// may only grow into real guaranteed headroom.
+func applyAdjustments(vms []*vmState, adj scheduler.Adjuster) {
+	for _, st := range vms {
+		if st.down {
+			continue
+		}
+		for _, rt := range st.running {
+			newAlloc, changed := adj.AdjustAlloc(rt.Spec, rt.Spec.DemandAt(rt.Slots))
+			if !changed {
+				continue
+			}
+			if rt.Entity == 1 {
+				st.oppInUse = st.oppInUse.Sub(rt.Allocated).ClampNonNegative().Add(newAlloc)
+			} else {
+				// Fresh increases are bounded by real headroom.
+				headroom := st.capacity.Sub(st.reserved).Sub(st.freshInUse).ClampNonNegative()
+				grow := newAlloc.Sub(rt.Allocated).ClampNonNegative().Min(headroom)
+				newAlloc = rt.Allocated.Min(newAlloc).Add(grow)
+				st.freshInUse = st.freshInUse.Sub(rt.Allocated).ClampNonNegative().Add(newAlloc)
+			}
+			rt.Allocated = newAlloc
+		}
+	}
+}
+
+// admitArrivals is phase 4a: move due arrivals into the queue. It reports
+// whether any job was admitted (the event core arms a placement pass on
+// admission).
+func (rs *runState) admitArrivals(t int) bool {
+	admitted := false
+	for rs.nextArrival < len(rs.runtimes) && rs.runtimes[rs.nextArrival].Arrival <= t {
+		rs.queue = append(rs.queue, rs.runtimes[rs.nextArrival])
+		rs.nextArrival++
+		admitted = true
+	}
+	return admitted
+}
+
+// admitRetries is phase 4b: move evicted jobs whose retry backoff has
+// elapsed into the queue, preserving eviction order.
+func (rs *runState) admitRetries(t int) bool {
+	if len(rs.retries) == 0 {
+		return false
+	}
+	admitted := false
+	kept := rs.retries[:0]
+	for _, pr := range rs.retries {
+		if pr.at <= t {
+			rs.queue = append(rs.queue, pr.rt)
+			admitted = true
+		} else {
+			kept = append(kept, pr)
+		}
+	}
+	rs.retries = kept
+	return admitted
+}
+
+// placeQueued is phase 5: offer every queued job to the scheduler. Failed
+// VMs drop out of the scheduler's view and re-enter when they recover.
+func (rs *runState) placeQueued(t int) error {
+	res := rs.res
+	for v, st := range rs.vms {
+		if st.down {
+			rs.views[v] = scheduler.VMView{Down: true}
+			continue
+		}
+		rs.views[v] = scheduler.VMView{
+			FreshAvailable: st.freshHeadroom(),
+			OppInUse:       st.oppInUse,
+		}
+	}
+	pending := make([]*job.Job, len(rs.queue))
+	byID := make(map[job.ID]*job.Runtime, len(rs.queue))
+	for i, rt := range rs.queue {
+		pending[i] = rt.Spec
+		byID[rt.Spec.ID] = rt
+	}
+	start := rs.clk.Now()
+	placements := rs.sched.Place(pending, rs.views)
+	res.Overhead.AddCompute(rs.clk.Now() - start)
+	placed := make(map[job.ID]bool)
+	for _, p := range placements {
+		res.Overhead.AddComm(rs.cl.CommLatencyMicros)
+		if len(p.Allocs) != len(p.Jobs) {
+			return fmt.Errorf("sim: placement has %d allocs for %d jobs", len(p.Allocs), len(p.Jobs))
+		}
+		for idx, spec := range p.Jobs {
+			rt := byID[spec.ID]
+			if rt == nil {
+				return fmt.Errorf("sim: scheduler placed unknown job %d", spec.ID)
+			}
+			rt.VM = p.VM
+			rt.Started = t
+			rt.Allocated = p.Allocs[idx]
+			st := rs.vms[p.VM]
+			if p.Opportunistic {
+				st.oppInUse = st.oppInUse.Add(rt.Allocated)
+				res.PlacedOpportunistic++
+			} else {
+				st.freshInUse = st.freshInUse.Add(rt.Allocated)
+				res.PlacedFresh++
+			}
+			rt.Entity = boolToInt(p.Opportunistic)
+			st.running = append(st.running, rt)
+			placed[spec.ID] = true
+			if rt.EvictedAt >= 0 {
+				// An evicted job found a new home: record the
+				// eviction-to-replacement gap.
+				res.Recovery.Replaced++
+				res.Recovery.ReplaceSlots += t - rt.EvictedAt
+				rt.EvictedAt = -1
+			}
+		}
+	}
+	if len(placed) > 0 {
+		kept := rs.queue[:0]
+		for _, rt := range rs.queue {
+			if !placed[rt.Spec.ID] {
+				kept = append(kept, rt)
+			}
+		}
+		rs.queue = kept
+	}
+	return nil
+}
+
+// executeSlot is phases 6–7: run one slot on every up VM, fold the slot's
+// ledger sums into the collectors, snapshot the timeline, and drain matured
+// prediction errors.
+//
+// The per-VM work — demand lookups, grant scaling, runtime advancement and
+// ledger updates — is VM-local, so it shards across the worker budget with
+// each VM writing its contribution into a positional record. The records
+// are then reduced serially in VM index order, replaying the exact
+// per-value addition sequence of the original monolithic loop; since
+// floating-point addition is not associative, this positional-merge recipe
+// (not per-shard partial sums) is what keeps any worker count bit-identical
+// to the serial run.
+func (rs *runState) executeSlot(t int) {
+	shardIndexes(rs.workers, len(rs.vms), func(v int) {
+		rs.executeVM(t, v)
+	})
+
+	// Serial reduction in VM index order, matching the monolithic loop's
+	// interleaving: cluster ledger adds, resident demand, long grants, then
+	// the short jobs' allocation/served/demand triple, per VM.
+	slotAllocated := resource.Vector{} // short-job allocations
+	slotDemand := resource.Vector{}    // short-job served demand
+	slotClusterAlloc := resource.Vector{}
+	slotClusterDemand := resource.Vector{}
+	for v := range rs.exec {
+		rec := &rs.exec[v]
+		if rec.skip {
+			continue
+		}
+		slotClusterAlloc = slotClusterAlloc.Add(rec.reserved).Add(rec.freshInUse).Add(rec.longReserved)
+		slotClusterDemand = slotClusterDemand.Add(rec.resUse)
+		for _, g := range rec.longGrants {
+			slotClusterDemand = slotClusterDemand.Add(g)
+		}
+		for _, s := range rec.shorts {
+			slotAllocated = slotAllocated.Add(s.alloc)
+			slotDemand = slotDemand.Add(s.granted)
+			slotClusterDemand = slotClusterDemand.Add(s.granted)
+		}
+		rs.res.LongFinished += rec.longFinished
+	}
+	rs.collector.Observe(slotAllocated, slotDemand)
+	rs.clusterCollector.Observe(slotClusterAlloc.Add(slotAllocated), slotClusterDemand)
+	if rs.cfg.RecordTimeline {
+		rs.res.Timeline = append(rs.res.Timeline, snapshotTimeline(
+			t, rs.cfg.Weights, slotAllocated, slotDemand,
+			slotClusterAlloc.Add(slotAllocated), slotClusterDemand,
+			rs.unused, rs.vms, len(rs.queue)))
+	}
+
+	// Drain matured prediction errors; only steady-state samples (past the
+	// warmup) count toward the Fig. 6 metric.
+	drained := rs.sched.DrainOutcomes()
+	if t >= rs.cfg.Warmup {
+		rs.outcomes = append(rs.outcomes, drained...)
+	}
+}
+
+// shortExecRec is one short job's slot contribution to the positional merge.
+type shortExecRec struct {
+	alloc   resource.Vector
+	granted resource.Vector
+	opp     bool
+}
+
+// vmExecRecord is one VM's slot contribution: ledger snapshots taken before
+// job advancement plus the per-job grant sequence, in running-list order.
+type vmExecRecord struct {
+	skip         bool
+	reserved     resource.Vector
+	freshInUse   resource.Vector
+	longReserved resource.Vector
+	resUse       resource.Vector
+	longGrants   []resource.Vector
+	longFinished int
+	shorts       []shortExecRec
+}
+
+// executeVM runs slot t on VM v: advance long then short jobs, apply the
+// opportunistic-pool scale factor, update the VM's ledgers, and record the
+// contribution sequence for the serial reduction. Everything touched here
+// is owned by VM v (its state, its runtimes), so the shard is race-free.
+func (rs *runState) executeVM(t, v int) {
+	st := rs.vms[v]
+	rec := &rs.exec[v]
+	rec.longGrants = rec.longGrants[:0]
+	rec.shorts = rec.shorts[:0]
+	rec.longFinished = 0
+	rec.skip = st.down
+	if st.down {
+		return
+	}
+	// Ledger snapshot before completions release reservations: the
+	// monolithic loop added these before advancing any job.
+	rec.reserved, rec.freshInUse, rec.longReserved = st.reserved, st.freshInUse, st.longReserved
+	rec.resUse = rs.residentUse[v]
+
+	// Long-lived jobs run with guaranteed allocations.
+	keptLong := st.longRunning[:0]
+	for _, rt := range st.longRunning {
+		granted := rt.Spec.DemandAt(rt.Slots).Min(rt.Allocated)
+		rec.longGrants = append(rec.longGrants, granted)
+		rt.Advance(granted)
+		if rt.Progress >= float64(rt.Spec.Duration)-1e-9 {
+			rt.Finished = t
+			st.longReserved = st.longReserved.Sub(rt.Allocated).ClampNonNegative()
+			rec.longFinished++
+		} else {
+			keptLong = append(keptLong, rt)
+		}
+	}
+	st.longRunning = keptLong
+
+	// Opportunistic pool: what the residents truly left unused.
+	pool := rs.unused[v]
+	var wantOpp resource.Vector
+	for _, rt := range st.running {
+		if rt.Entity == 1 {
+			wantOpp = wantOpp.Add(rt.Spec.DemandAt(rt.Slots).Min(rt.Allocated))
+		}
+	}
+	// Per-kind scale factor when the pool is oversubscribed.
+	var scale resource.Vector
+	for k := range scale {
+		if wantOpp[k] <= pool[k] || wantOpp[k] == 0 {
+			scale[k] = 1
+		} else {
+			scale[k] = pool[k] / wantOpp[k]
+		}
+	}
+	finished := st.running[:0]
+	for _, rt := range st.running {
+		want := rt.Spec.DemandAt(rt.Slots).Min(rt.Allocated)
+		granted := want
+		if rt.Entity == 1 {
+			granted = want.Mul(scale)
+		}
+		rec.shorts = append(rec.shorts, shortExecRec{alloc: rt.Allocated, granted: granted, opp: rt.Entity == 1})
+		rt.Advance(granted)
+		if rt.Progress >= float64(rt.Spec.Duration)-1e-9 {
+			rt.Finished = t
+			if rt.Entity == 1 {
+				st.oppInUse = st.oppInUse.Sub(rt.Allocated).ClampNonNegative()
+			} else {
+				st.freshInUse = st.freshInUse.Sub(rt.Allocated).ClampNonNegative()
+			}
+		} else {
+			finished = append(finished, rt)
+		}
+	}
+	st.running = finished
+}
+
+// finalize computes the run's aggregate metrics from the collectors and
+// per-job runtimes.
+func (rs *runState) finalize() *Result {
+	cfg, res := rs.cfg, rs.res
+	for _, k := range resource.Kinds() {
+		res.Utilization[k] = rs.collector.Utilization(k)
+		res.ClusterUtilization[k] = rs.clusterCollector.Utilization(k)
+	}
+	res.Overall = rs.collector.Overall(cfg.Weights)
+	res.Wastage = 1 - res.Overall
+	res.ClusterOverall = rs.clusterCollector.Overall(cfg.Weights)
+
+	cpuCap := rs.cl.VMs[0].Capacity.At(resource.CPU)
+	var predOutcomes []metrics.PredictionOutcome
+	for _, o := range rs.outcomes {
+		if o.Kind == resource.CPU {
+			predOutcomes = append(predOutcomes, metrics.PredictionOutcome{Error: o.Error})
+		}
+	}
+	res.PredictionSamples = len(predOutcomes)
+	res.PredictionErrorRate = metrics.PredictionErrorRate(predOutcomes, cfg.Epsilon*cpuCap)
+
+	var respSum, respN float64
+	var responses []int
+	var serviceRates []float64
+	// Attribute each violated or unfinished job to its damage mechanism:
+	// jobs evicted by a failure are failure damage, the rest starved on
+	// opportunistic pools (the paper's fault-free mechanism). Only fault
+	// runs attribute, so fault-free results stay bit-for-bit unchanged.
+	attribute := func(rt *job.Runtime) {
+		if rs.inj == nil {
+			return
+		}
+		if rt.Evictions > 0 {
+			res.Recovery.ViolationsFailure++
+		} else {
+			res.Recovery.ViolationsStarvation++
+		}
+	}
+	for _, rt := range rs.runtimes {
+		if rt.Done() {
+			res.SLO.Finished++
+			if rt.SLOViolated() {
+				res.SLO.Violated++
+				attribute(rt)
+			}
+			respSum += float64(rt.ResponseTime())
+			respN++
+			responses = append(responses, rt.ResponseTime())
+		} else {
+			res.SLO.Unfinished++
+			attribute(rt)
+			if rt.VM < 0 && rt.Evictions == 0 {
+				res.NeverPlaced++
+			}
+		}
+		if rt.Slots > 0 {
+			serviceRates = append(serviceRates, rt.Progress/float64(rt.Slots))
+		}
+	}
+	res.SLORate = res.SLO.ViolationRate()
+	if respN > 0 {
+		res.MeanResponseSlots = respSum / respN
+	}
+	if p, ok := metrics.PercentileInt(responses, 50); ok {
+		res.ResponseP50 = p
+	}
+	if p, ok := metrics.PercentileInt(responses, 95); ok {
+		res.ResponseP95 = p
+	}
+	res.Fairness = metrics.JainFairness(serviceRates)
+	if te, ok := rs.sched.(interface{ TrainErrors() int }); ok {
+		res.DNNTrainErrors = te.TrainErrors()
+	}
+	return res
+}

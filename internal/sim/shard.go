@@ -1,0 +1,54 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// shardChunk is how many consecutive VM indices one work-stealing grab
+// covers: large enough to amortize the atomic, small enough to balance
+// uneven per-VM costs (a VM with a deep running list next to idle ones).
+// It mirrors the scheduler engine's observeChunk.
+const shardChunk = 8
+
+// shardIndexes runs fn(i) for i in [0, n) on up to `workers` goroutines,
+// handing out index chunks through an atomic cursor; with workers <= 1 it
+// degrades to a plain loop. fn must only write state owned by index i —
+// the simulator's per-VM phases (telemetry sampling, slot execution) rely
+// on that for positional, order-independent results.
+func shardIndexes(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(shardChunk)) - shardChunk
+				if start >= n {
+					return
+				}
+				end := start + shardChunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -18,7 +18,6 @@ import (
 	"repro/internal/faults"
 	"repro/internal/job"
 	"repro/internal/metrics"
-	"repro/internal/predict"
 	"repro/internal/resource"
 	"repro/internal/scheduler"
 	"repro/internal/trace"
@@ -118,6 +117,50 @@ type Config struct {
 	// are bit-identical at any worker count — Workers affects wall time
 	// only. Run overwrites Scheduler.Workers with the resolved count.
 	Workers int
+
+	// Core selects the execution core driving the run: the global event
+	// queue (the default) or the original fixed-tick slot loop, kept as
+	// the equivalence reference. Both cores drive identical phase methods
+	// and produce bit-identical results (see the core-equivalence tests);
+	// only the scheduling of no-op slots differs.
+	Core Core
+}
+
+// Core selects the simulator's execution core.
+type Core int
+
+const (
+	// CoreEvent drives the run from a global min-heap of simulation
+	// events (arrivals, retries, refresh windows, faults, telemetry,
+	// execution) keyed by timestamp with deterministic tie-breaking.
+	CoreEvent Core = iota
+	// CoreSlot is the original fixed-tick loop offering every phase at
+	// every slot. Results are bit-identical to CoreEvent.
+	CoreSlot
+)
+
+// String names the core.
+func (c Core) String() string {
+	switch c {
+	case CoreEvent:
+		return "event"
+	case CoreSlot:
+		return "slot"
+	default:
+		return fmt.Sprintf("Core(%d)", int(c))
+	}
+}
+
+// ParseCore parses "event" or "slot" (the -core CLI flag).
+func ParseCore(s string) (Core, error) {
+	switch s {
+	case "event":
+		return CoreEvent, nil
+	case "slot":
+		return CoreSlot, nil
+	default:
+		return 0, fmt.Errorf("sim: unknown core %q (want event or slot)", s)
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -384,7 +427,6 @@ func Run(cfg Config) (*Result, error) {
 	for _, j := range snap.LongJobs() {
 		longRuntimes = append(longRuntimes, job.NewRuntimeAt(j, j.Arrival+cfg.Warmup/2))
 	}
-	nextLong := 0
 
 	clk := cfg.Clock
 	if clk == nil {
@@ -403,439 +445,43 @@ func Run(cfg Config) (*Result, error) {
 		}
 		inj = faults.NewInjector(fcfg, vmToPM)
 	}
-	// retryAt holds evicted jobs waiting out their backoff before
-	// re-entering the arrival queue.
-	type pendingRetry struct {
-		rt *job.Runtime
-		at int
-	}
-	var retries []pendingRetry
-
 	res := &Result{
 		Scheme:  sched.Name(),
 		Profile: cfg.Profile.String(),
 		NumJobs: cfg.NumJobs,
 		Slots:   horizon,
 	}
-	var collector, clusterCollector metrics.UtilizationCollector
-	var outcomes []predict.ErrorSample
-	var queue []*job.Runtime
-	nextArrival := 0
-	window := sched.Window()
-	// VM capacities never change mid-run; compute the volume-normalising
-	// reference once instead of rescanning every VM per candidate in the
-	// long-job placement loop below.
-	maxVMCap := cl.MaxVMCapacity()
-
-	// Per-slot buffers, hoisted out of the loop so the hot path does not
-	// reallocate them every slot. batcher is resolved once: the engine's
-	// ObserveAll fans the per-VM predictor updates across its workers.
-	unused := make([]resource.Vector, len(vms))
-	residentUse := make([]resource.Vector, len(vms))
-	downMask := make([]bool, len(vms))
-	views := make([]scheduler.VMView, len(vms))
-	batcher, hasBatcher := sched.(scheduler.BatchObserver)
-
-	for t := 0; t < horizon; t++ {
-		// 0. Fault injection: complete repairs, then crash VMs/PMs and
-		// evict their jobs into the retry queue; the slot's surge factors
-		// and control-plane stalls apply below.
-		var surge []float64
-		if inj != nil {
-			ev := inj.Advance(t)
-			res.Recovery.PMCrashes += ev.PMCrashes
-			for _, v := range ev.Recovered {
-				vms[v].down = false
-				res.Recovery.VMRecoveries++
-			}
-			for _, v := range ev.Crashed {
-				st := vms[v]
-				st.down = true
-				res.Recovery.VMCrashes++
-				for _, rt := range st.running {
-					rt.Evict(t)
-					res.Recovery.Evictions++
-					if rt.Retries >= inj.Config().MaxRetries {
-						// Retry budget exhausted: the job is abandoned
-						// and will be accounted as an unfinished,
-						// failure-attributed SLO violation.
-						res.Recovery.RetriesExhausted++
-						continue
-					}
-					rt.Retries++
-					res.Recovery.Retries++
-					retries = append(retries, pendingRetry{rt, t + inj.Config().Backoff(rt.Retries)})
-				}
-				// Long-lived jobs die with the VM and are not retried;
-				// their guaranteed reservations return to the pool.
-				res.LongFailed += len(st.longRunning)
-				st.running = nil
-				st.longRunning = nil
-				st.freshInUse = resource.Vector{}
-				st.oppInUse = resource.Vector{}
-				st.longReserved = resource.Vector{}
-			}
-			if ev.DelayMicros > 0 {
-				res.Overhead.AddComm(ev.DelayMicros)
-				res.Recovery.Delays++
-				res.Recovery.InjectedDelayMicros += ev.DelayMicros
-			}
-			surge = ev.Surge
-		}
-
-		// 1. Place arriving long-lived jobs with the cooperating
-		// reservation method: largest guaranteed headroom first.
-		for nextLong < len(longRuntimes) && longRuntimes[nextLong].Arrival <= t {
-			rt := longRuntimes[nextLong]
-			nextLong++
-			bestVM, bestVol := -1, -1.0
-			need := rt.Spec.Request
-			for v, st := range vms {
-				if st.down {
-					continue
-				}
-				head := st.freshHeadroom()
-				if !need.FitsIn(head) {
-					continue
-				}
-				if vol := head.Volume(maxVMCap); vol > bestVol {
-					bestVM, bestVol = v, vol
-				}
-			}
-			if bestVM < 0 {
-				res.LongUnplaced++
-				continue
-			}
-			st := vms[bestVM]
-			st.longReserved = st.longReserved.Add(need)
-			rt.VM = bestVM
-			rt.Started = t
-			rt.Allocated = need
-			st.longRunning = append(st.longRunning, rt)
-			res.LongPlaced++
-		}
-
-		// 2. Observe actual unused resources (prediction target): the
-		// residents' slack (shrunk by any demand surge) plus the running
-		// long jobs' slack. Failed VMs report no telemetry and offer no
-		// pool; their predictors hold stale state until recovery. The
-		// samples are computed serially (cheap ledger reads), then fed to
-		// the predictor fleet in one batch so the engine can shard the
-		// expensive per-VM updates across its workers.
-		for v, st := range vms {
-			downMask[v] = st.down
-			if st.down {
-				unused[v] = resource.Vector{}
-				residentUse[v] = resource.Vector{}
-				continue
-			}
-			residentUse[v] = st.resident.DemandAt(t)
-			u := st.resident.UnusedAt(t)
-			if surge != nil && surge[v] > 1 {
-				residentUse[v] = residentUse[v].Scale(surge[v]).Min(st.reserved)
-				u = st.reserved.Sub(residentUse[v]).ClampNonNegative()
-				res.Recovery.SurgeSlots++
-			}
-			for _, rt := range st.longRunning {
-				u = u.Add(rt.Spec.Request.Sub(rt.Spec.DemandAt(rt.Slots)).ClampNonNegative())
-			}
-			unused[v] = u
-		}
-		if hasBatcher {
-			batcher.ObserveAll(unused, downMask)
-		} else {
-			for v := range vms {
-				if !downMask[v] {
-					sched.Observe(v, unused[v])
-				}
-			}
-		}
-
-		// 3. Refresh forecasts once per window (timed: this is the
-		// prediction part of the allocation path), and let adjusting
-		// schemes re-size running jobs' allocations to current demand.
-		if t%window == 0 {
-			start := clk.Now()
-			sched.Refresh()
-			if adj, ok := sched.(scheduler.Adjuster); ok {
-				for _, st := range vms {
-					if st.down {
-						continue
-					}
-					for _, rt := range st.running {
-						newAlloc, changed := adj.AdjustAlloc(rt.Spec, rt.Spec.DemandAt(rt.Slots))
-						if !changed {
-							continue
-						}
-						if rt.Entity == 1 {
-							st.oppInUse = st.oppInUse.Sub(rt.Allocated).ClampNonNegative().Add(newAlloc)
-						} else {
-							// Fresh increases are bounded by real headroom.
-							headroom := st.capacity.Sub(st.reserved).Sub(st.freshInUse).ClampNonNegative()
-							grow := newAlloc.Sub(rt.Allocated).ClampNonNegative().Min(headroom)
-							newAlloc = rt.Allocated.Min(newAlloc).Add(grow)
-							st.freshInUse = st.freshInUse.Sub(rt.Allocated).ClampNonNegative().Add(newAlloc)
-						}
-						rt.Allocated = newAlloc
-					}
-				}
-			}
-			res.Overhead.AddCompute(clk.Now() - start)
-			// One status RPC per VM to collect utilization reports; in a
-			// real deployment this communication dominates the control
-			// loop, with the predictor's compute as the increment on top
-			// (the paper: CORP's DNN "increases the latency a little").
-			for range vms {
-				res.Overhead.AddComm(cl.CommLatencyMicros)
-			}
-		}
-
-		// 4. Admit arrivals into the queue, then evicted jobs whose retry
-		// backoff has elapsed.
-		for nextArrival < len(runtimes) && runtimes[nextArrival].Arrival <= t {
-			queue = append(queue, runtimes[nextArrival])
-			nextArrival++
-		}
-		if len(retries) > 0 {
-			kept := retries[:0]
-			for _, pr := range retries {
-				if pr.at <= t {
-					queue = append(queue, pr.rt)
-				} else {
-					kept = append(kept, pr)
-				}
-			}
-			retries = kept
-		}
-
-		// 5. Place queued jobs. Failed VMs drop out of the scheduler's
-		// view and re-enter when they recover.
-		if len(queue) > 0 {
-			for v, st := range vms {
-				if st.down {
-					views[v] = scheduler.VMView{Down: true}
-					continue
-				}
-				views[v] = scheduler.VMView{
-					FreshAvailable: st.freshHeadroom(),
-					OppInUse:       st.oppInUse,
-				}
-			}
-			pending := make([]*job.Job, len(queue))
-			byID := make(map[job.ID]*job.Runtime, len(queue))
-			for i, rt := range queue {
-				pending[i] = rt.Spec
-				byID[rt.Spec.ID] = rt
-			}
-			start := clk.Now()
-			placements := sched.Place(pending, views)
-			res.Overhead.AddCompute(clk.Now() - start)
-			placed := make(map[job.ID]bool)
-			for _, p := range placements {
-				res.Overhead.AddComm(cl.CommLatencyMicros)
-				if len(p.Allocs) != len(p.Jobs) {
-					return nil, fmt.Errorf("sim: placement has %d allocs for %d jobs", len(p.Allocs), len(p.Jobs))
-				}
-				for idx, spec := range p.Jobs {
-					rt := byID[spec.ID]
-					if rt == nil {
-						return nil, fmt.Errorf("sim: scheduler placed unknown job %d", spec.ID)
-					}
-					rt.VM = p.VM
-					rt.Started = t
-					rt.Allocated = p.Allocs[idx]
-					st := vms[p.VM]
-					if p.Opportunistic {
-						st.oppInUse = st.oppInUse.Add(rt.Allocated)
-						res.PlacedOpportunistic++
-					} else {
-						st.freshInUse = st.freshInUse.Add(rt.Allocated)
-						res.PlacedFresh++
-					}
-					rt.Entity = boolToInt(p.Opportunistic)
-					st.running = append(st.running, rt)
-					placed[spec.ID] = true
-					if rt.EvictedAt >= 0 {
-						// An evicted job found a new home: record the
-						// eviction-to-replacement gap.
-						res.Recovery.Replaced++
-						res.Recovery.ReplaceSlots += t - rt.EvictedAt
-						rt.EvictedAt = -1
-					}
-				}
-			}
-			if len(placed) > 0 {
-				kept := queue[:0]
-				for _, rt := range queue {
-					if !placed[rt.Spec.ID] {
-						kept = append(kept, rt)
-					}
-				}
-				queue = kept
-			}
-		}
-
-		// 6. Execute one slot on every up VM and update ledgers. Failed
-		// VMs contribute nothing: their capacity, residents and pools are
-		// all offline until repair.
-		slotAllocated := resource.Vector{} // short-job allocations
-		slotDemand := resource.Vector{}    // short-job served demand
-		slotClusterAlloc := resource.Vector{}
-		slotClusterDemand := resource.Vector{}
-		for v, st := range vms {
-			if st.down {
-				continue
-			}
-			resUse := residentUse[v]
-			slotClusterAlloc = slotClusterAlloc.Add(st.reserved).Add(st.freshInUse).Add(st.longReserved)
-			slotClusterDemand = slotClusterDemand.Add(resUse)
-
-			// Long-lived jobs run with guaranteed allocations.
-			keptLong := st.longRunning[:0]
-			for _, rt := range st.longRunning {
-				granted := rt.Spec.DemandAt(rt.Slots).Min(rt.Allocated)
-				slotClusterDemand = slotClusterDemand.Add(granted)
-				rt.Advance(granted)
-				if rt.Progress >= float64(rt.Spec.Duration)-1e-9 {
-					rt.Finished = t
-					st.longReserved = st.longReserved.Sub(rt.Allocated).ClampNonNegative()
-					res.LongFinished++
-				} else {
-					keptLong = append(keptLong, rt)
-				}
-			}
-			st.longRunning = keptLong
-
-			// Opportunistic pool: what the residents truly left unused.
-			pool := unused[v]
-			var wantOpp resource.Vector
-			for _, rt := range st.running {
-				if rt.Entity == 1 {
-					wantOpp = wantOpp.Add(rt.Spec.DemandAt(rt.Slots).Min(rt.Allocated))
-				}
-			}
-			// Per-kind scale factor when the pool is oversubscribed.
-			var scale resource.Vector
-			for k := range scale {
-				if wantOpp[k] <= pool[k] || wantOpp[k] == 0 {
-					scale[k] = 1
-				} else {
-					scale[k] = pool[k] / wantOpp[k]
-				}
-			}
-			finished := st.running[:0]
-			for _, rt := range st.running {
-				want := rt.Spec.DemandAt(rt.Slots).Min(rt.Allocated)
-				granted := want
-				if rt.Entity == 1 {
-					granted = want.Mul(scale)
-				}
-				slotAllocated = slotAllocated.Add(rt.Allocated)
-				slotDemand = slotDemand.Add(granted)
-				slotClusterDemand = slotClusterDemand.Add(granted)
-				rt.Advance(granted)
-				if rt.Progress >= float64(rt.Spec.Duration)-1e-9 {
-					rt.Finished = t
-					if rt.Entity == 1 {
-						st.oppInUse = st.oppInUse.Sub(rt.Allocated).ClampNonNegative()
-					} else {
-						st.freshInUse = st.freshInUse.Sub(rt.Allocated).ClampNonNegative()
-					}
-				} else {
-					finished = append(finished, rt)
-				}
-			}
-			st.running = finished
-		}
-		collector.Observe(slotAllocated, slotDemand)
-		clusterCollector.Observe(slotClusterAlloc.Add(slotAllocated), slotClusterDemand)
-		if cfg.RecordTimeline {
-			res.Timeline = append(res.Timeline, snapshotTimeline(
-				t, cfg.Weights, slotAllocated, slotDemand,
-				slotClusterAlloc.Add(slotAllocated), slotClusterDemand,
-				unused, vms, len(queue)))
-		}
-
-		// 7. Drain matured prediction errors; only steady-state samples
-		// (past the warmup) count toward the Fig. 6 metric.
-		drained := sched.DrainOutcomes()
-		if t >= cfg.Warmup {
-			outcomes = append(outcomes, drained...)
-		}
+	rs := &runState{
+		cfg:          cfg,
+		cl:           cl,
+		sched:        sched,
+		clk:          clk,
+		inj:          inj,
+		res:          res,
+		horizon:      horizon,
+		window:       sched.Window(),
+		workers:      workers,
+		vms:          vms,
+		runtimes:     runtimes,
+		longRuntimes: longRuntimes,
+		// VM capacities never change mid-run; compute the
+		// volume-normalising reference once instead of rescanning every
+		// VM per candidate in the long-job placement phase.
+		maxVMCap: cl.MaxVMCapacity(),
 	}
-
-	// Final metrics.
-	for _, k := range resource.Kinds() {
-		res.Utilization[k] = collector.Utilization(k)
-		res.ClusterUtilization[k] = clusterCollector.Utilization(k)
+	rs.initScratch()
+	switch cfg.Core {
+	case CoreEvent:
+		err = rs.runEventLoop()
+	case CoreSlot:
+		err = rs.runSlotLoop()
+	default:
+		return nil, fmt.Errorf("sim: unknown core %d", int(cfg.Core))
 	}
-	res.Overall = collector.Overall(cfg.Weights)
-	res.Wastage = 1 - res.Overall
-	res.ClusterOverall = clusterCollector.Overall(cfg.Weights)
-
-	cpuCap := cl.VMs[0].Capacity.At(resource.CPU)
-	var predOutcomes []metrics.PredictionOutcome
-	for _, o := range outcomes {
-		if o.Kind == resource.CPU {
-			predOutcomes = append(predOutcomes, metrics.PredictionOutcome{Error: o.Error})
-		}
+	if err != nil {
+		return nil, err
 	}
-	res.PredictionSamples = len(predOutcomes)
-	res.PredictionErrorRate = metrics.PredictionErrorRate(predOutcomes, cfg.Epsilon*cpuCap)
-
-	var respSum, respN float64
-	var responses []int
-	var serviceRates []float64
-	// Attribute each violated or unfinished job to its damage mechanism:
-	// jobs evicted by a failure are failure damage, the rest starved on
-	// opportunistic pools (the paper's fault-free mechanism). Only fault
-	// runs attribute, so fault-free results stay bit-for-bit unchanged.
-	attribute := func(rt *job.Runtime) {
-		if inj == nil {
-			return
-		}
-		if rt.Evictions > 0 {
-			res.Recovery.ViolationsFailure++
-		} else {
-			res.Recovery.ViolationsStarvation++
-		}
-	}
-	for _, rt := range runtimes {
-		if rt.Done() {
-			res.SLO.Finished++
-			if rt.SLOViolated() {
-				res.SLO.Violated++
-				attribute(rt)
-			}
-			respSum += float64(rt.ResponseTime())
-			respN++
-			responses = append(responses, rt.ResponseTime())
-		} else {
-			res.SLO.Unfinished++
-			attribute(rt)
-			if rt.VM < 0 && rt.Evictions == 0 {
-				res.NeverPlaced++
-			}
-		}
-		if rt.Slots > 0 {
-			serviceRates = append(serviceRates, rt.Progress/float64(rt.Slots))
-		}
-	}
-	res.SLORate = res.SLO.ViolationRate()
-	if respN > 0 {
-		res.MeanResponseSlots = respSum / respN
-	}
-	if p, ok := metrics.PercentileInt(responses, 50); ok {
-		res.ResponseP50 = p
-	}
-	if p, ok := metrics.PercentileInt(responses, 95); ok {
-		res.ResponseP95 = p
-	}
-	res.Fairness = metrics.JainFairness(serviceRates)
-	if te, ok := sched.(interface{ TrainErrors() int }); ok {
-		res.DNNTrainErrors = te.TrainErrors()
-	}
-	return res, nil
+	return rs.finalize(), nil
 }
 
 func boolToInt(b bool) int {
