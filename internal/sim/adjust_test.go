@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/job"
+	"repro/internal/resource"
+	"repro/internal/scheduler"
+)
+
+// growAdjuster asks for the same (large) allocation for every running job.
+type growAdjuster struct{ want resource.Vector }
+
+func (g growAdjuster) AdjustAlloc(*job.Job, resource.Vector) (resource.Vector, bool) {
+	return g.want, true
+}
+
+var _ scheduler.Adjuster = growAdjuster{}
+
+// TestAdjustFreshGrowthRespectsLongReservations is the regression pin for
+// the mixed-workload over-commit bug: the fresh-growth path computed
+// headroom as capacity − reserved − freshInUse, silently treating long
+// jobs' guaranteed reservations as free. On a VM with capacity 10,
+// resident reservation 4, a long job holding 4 and a fresh short job
+// holding 1, real headroom is 1 — but the buggy bound let the job grow by
+// up to 5, pushing reserved + longReserved + freshInUse to 12 of 10.
+func TestAdjustFreshGrowthRespectsLongReservations(t *testing.T) {
+	one := func(x float64) resource.Vector { return resource.Vector{x, x, x} }
+	spec := &job.Job{ID: 1, Duration: 10, Usage: []resource.Vector{one(1)}, Request: one(1)}
+	rt := job.NewRuntime(spec)
+	rt.Allocated = one(1)
+	// Entity 0 = fresh placement (opportunistic jobs carry entity 1).
+	st := &vmState{
+		capacity:     one(10),
+		reserved:     one(4),
+		longReserved: one(4),
+		freshInUse:   one(1),
+		running:      []*job.Runtime{rt},
+	}
+
+	applyAdjustments([]*vmState{st}, growAdjuster{want: one(6)})
+
+	total := st.reserved.Add(st.longReserved).Add(st.freshInUse)
+	if !total.FitsIn(st.capacity) {
+		t.Errorf("ledger over-committed: reserved+longReserved+freshInUse = %v of %v", total, st.capacity)
+	}
+	// Real headroom was 1, so the job may grow from 1 to exactly 2.
+	if want := one(2); rt.Allocated != want {
+		t.Errorf("adjusted allocation = %v, want %v (grow bounded by real headroom)", rt.Allocated, want)
+	}
+	if want := one(2); st.freshInUse != want {
+		t.Errorf("freshInUse = %v, want %v", st.freshInUse, want)
+	}
+
+	// Down VMs and opportunistic entities keep their existing behaviour:
+	// the opportunistic pool swaps freely (risk lands at execute time).
+	opp := job.NewRuntime(spec)
+	opp.Allocated = one(1)
+	opp.Entity = 1
+	stOpp := &vmState{capacity: one(10), reserved: one(4), oppInUse: one(1), running: []*job.Runtime{opp}}
+	applyAdjustments([]*vmState{stOpp}, growAdjuster{want: one(6)})
+	if want := one(6); opp.Allocated != want {
+		t.Errorf("opportunistic adjusted allocation = %v, want %v", opp.Allocated, want)
+	}
+}

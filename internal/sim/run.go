@@ -267,8 +267,10 @@ func applyAdjustments(vms []*vmState, adj scheduler.Adjuster) {
 			if rt.Entity == 1 {
 				st.oppInUse = st.oppInUse.Sub(rt.Allocated).ClampNonNegative().Add(newAlloc)
 			} else {
-				// Fresh increases are bounded by real headroom.
-				headroom := st.capacity.Sub(st.reserved).Sub(st.freshInUse).ClampNonNegative()
+				// Fresh increases are bounded by real headroom: capacity
+				// minus the resident reservation, the long jobs'
+				// guaranteed reservations, and fresh grants already out.
+				headroom := st.freshHeadroom()
 				grow := newAlloc.Sub(rt.Allocated).ClampNonNegative().Min(headroom)
 				newAlloc = rt.Allocated.Min(newAlloc).Add(grow)
 				st.freshInUse = st.freshInUse.Sub(rt.Allocated).ClampNonNegative().Add(newAlloc)
