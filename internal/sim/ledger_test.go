@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/job"
+	"repro/internal/resource"
+	"repro/internal/scheduler"
+)
+
+// TestClusterUtilizationCountsFreshOnce is the regression pin for the
+// cluster-utilization double-count: the reducer's per-VM ledger sum
+// already includes freshInUse, so only the opportunistic share of short
+// allocations may be added on top. The intended identity, checked against
+// the collector's exported accumulators:
+//
+//	cluster allocated = Σ(reserved + longReserved + freshInUse) + Σ opp allocs
+//
+// The buggy version added all short allocations, counting every fresh
+// grant twice in the cluster-utilization denominator.
+func TestClusterUtilizationCountsFreshOnce(t *testing.T) {
+	one := func(x float64) resource.Vector { return resource.Vector{x, x, x} }
+	spec := func(id int) *job.Job {
+		return &job.Job{
+			ID: job.ID(id), Duration: 10,
+			Usage:   []resource.Vector{one(1)},
+			Request: one(1),
+		}
+	}
+
+	// VM 0 hosts a fresh short job (entity 0) from guaranteed headroom;
+	// VM 1 hosts an opportunistic one (entity 1) from predicted-unused.
+	fresh := job.NewRuntime(spec(1))
+	fresh.Allocated = one(3)
+	opp := job.NewRuntime(spec(2))
+	opp.Allocated = one(1)
+	opp.Entity = 1
+	vms := []*vmState{
+		{capacity: one(8), reserved: one(2), freshInUse: one(3), running: []*job.Runtime{fresh}},
+		{capacity: one(8), reserved: one(2), oppInUse: one(1), running: []*job.Runtime{opp}},
+	}
+
+	cl, err := cluster.New(cluster.Config{NumPMs: 1, NumVMs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := scheduler.New(scheduler.Config{Scheme: scheduler.RCCR, Seed: 1, Workers: 1}, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &runState{cfg: Config{Warmup: 1}, sched: sched, res: &Result{}, workers: 1, vms: vms}
+	rs.initScratch()
+	// Ample opportunistic pool so the grant scale factor stays 1.
+	rs.unused[0], rs.unused[1] = one(5), one(5)
+	rs.residentUse[0], rs.residentUse[1] = one(1), one(1)
+
+	rs.executeSlot(0)
+
+	// Short-job side: both allocations, both grants.
+	if want := one(4); rs.collector.Allocated != want {
+		t.Errorf("short allocated = %v, want %v", rs.collector.Allocated, want)
+	}
+	if want := one(2); rs.collector.Demand != want {
+		t.Errorf("short demand = %v, want %v", rs.collector.Demand, want)
+	}
+	// Cluster side: ledgers (2+3) + (2) plus the opportunistic alloc 1 =
+	// 8. The double-count bug yielded 11 (= 7 + all 4 short allocations).
+	if want := one(8); rs.clusterCollector.Allocated != want {
+		t.Errorf("cluster allocated = %v, want %v (fresh counted twice?)", rs.clusterCollector.Allocated, want)
+	}
+	// Cluster demand: residents (1+1) + granted short demand (1+1).
+	if want := one(4); rs.clusterCollector.Demand != want {
+		t.Errorf("cluster demand = %v, want %v", rs.clusterCollector.Demand, want)
+	}
+}

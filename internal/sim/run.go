@@ -404,6 +404,7 @@ func (rs *runState) executeSlot(t int) {
 	// the short jobs' allocation/served/demand triple, per VM.
 	slotAllocated := resource.Vector{} // short-job allocations
 	slotDemand := resource.Vector{}    // short-job served demand
+	slotOppAlloc := resource.Vector{}  // opportunistic share of slotAllocated
 	slotClusterAlloc := resource.Vector{}
 	slotClusterDemand := resource.Vector{}
 	for v := range rs.exec {
@@ -418,17 +419,26 @@ func (rs *runState) executeSlot(t int) {
 		}
 		for _, s := range rec.shorts {
 			slotAllocated = slotAllocated.Add(s.alloc)
+			if s.opp {
+				slotOppAlloc = slotOppAlloc.Add(s.alloc)
+			}
 			slotDemand = slotDemand.Add(s.granted)
 			slotClusterDemand = slotClusterDemand.Add(s.granted)
 		}
 		rs.res.LongFinished += rec.longFinished
 	}
 	rs.collector.Observe(slotAllocated, slotDemand)
-	rs.clusterCollector.Observe(slotClusterAlloc.Add(slotAllocated), slotClusterDemand)
+	// Cluster-wide allocation = Σ over VMs of (resident reservation +
+	// long-job reservations + fresh grants) + the opportunistic grants.
+	// Fresh short-job allocations already sit in the per-VM freshInUse
+	// ledger summed above, so only the opportunistic share — which lives
+	// outside the guaranteed ledgers — is added on top; adding all of
+	// slotAllocated would count every fresh allocation twice.
+	rs.clusterCollector.Observe(slotClusterAlloc.Add(slotOppAlloc), slotClusterDemand)
 	if rs.cfg.RecordTimeline {
 		rs.res.Timeline = append(rs.res.Timeline, snapshotTimeline(
 			t, rs.cfg.Weights, slotAllocated, slotDemand,
-			slotClusterAlloc.Add(slotAllocated), slotClusterDemand,
+			slotClusterAlloc.Add(slotOppAlloc), slotClusterDemand,
 			rs.unused, rs.vms, len(rs.queue)))
 	}
 
