@@ -74,3 +74,41 @@ func TestClusterUtilizationCountsFreshOnce(t *testing.T) {
 		t.Errorf("cluster demand = %v, want %v", rs.clusterCollector.Demand, want)
 	}
 }
+
+// TestRefreshWindowSkipsDownVMs is the regression pin for the status-RPC
+// fan-out charging communication latency for crashed VMs: a down VM
+// answers no status probe, so the refresh window must add one round-trip
+// per *up* VM only (DESIGN.md §5f, skip-vs-timeout).
+func TestRefreshWindowSkipsDownVMs(t *testing.T) {
+	cl, err := cluster.New(cluster.Config{NumPMs: 1, NumVMs: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := scheduler.New(scheduler.Config{Scheme: scheduler.RCCR, Seed: 1, Workers: 1}, cl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vms := make([]*vmState, 4)
+	for i := range vms {
+		vms[i] = &vmState{capacity: resource.Vector{4, 16, 180}}
+	}
+	rs := &runState{
+		cl:      cl,
+		sched:   sched,
+		clk:     &VirtualClock{StepMicros: 50},
+		res:     &Result{},
+		workers: 1,
+		vms:     vms,
+	}
+	rs.initScratch()
+	rs.downMask[1], rs.downMask[3] = true, true
+
+	before := rs.res.Overhead.CommMicros
+	rs.refreshWindow(0)
+
+	got := rs.res.Overhead.CommMicros - before
+	if want := 2 * cl.CommLatencyMicros; got != want {
+		t.Errorf("refresh comm charge = %v µs, want %v (2 up VMs × %v; down VMs must add no round-trip)",
+			got, want, cl.CommLatencyMicros)
+	}
+}

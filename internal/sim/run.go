@@ -244,8 +244,13 @@ func (rs *runState) refreshWindow(t int) {
 	// One status RPC per VM to collect utilization reports; in a real
 	// deployment this communication dominates the control loop, with the
 	// predictor's compute as the increment on top (the paper: CORP's DNN
-	// "increases the latency a little").
-	for range rs.vms {
+	// "increases the latency a little"). A crashed VM answers no status
+	// probe, so it adds no round-trip to the control-plane total (see
+	// DESIGN.md §5f on skip-vs-timeout).
+	for v := range rs.vms {
+		if rs.downMask[v] {
+			continue
+		}
 		rs.res.Overhead.AddComm(rs.cl.CommLatencyMicros)
 	}
 }
