@@ -23,14 +23,16 @@ test:
 	$(GO) test ./...
 
 # The race subset covers the packages with real concurrency: the parallel
-# sweep runner, the shared workload-snapshot cache, and the DNN's shared
-# training state. -short skips the heavyweight single-threaded determinism
-# tests (they add minutes under the race detector and no concurrency
-# coverage). internal/sim alone runs ~10 minutes on a one-core box, right
-# at go test's default -timeout; raise it so a loaded machine cannot
-# flake the gate.
+# sweep runner, the shared workload-snapshot cache, the DNN's shared
+# training state, and the scheduler's batched-refresh engine (the
+# multi-worker equivalence tests drive the gather/forward/scatter phases
+# across goroutines). -short skips the heavyweight single-threaded
+# determinism tests (they add minutes under the race detector and no
+# concurrency coverage). internal/sim alone runs ~10 minutes on a
+# one-core box, right at go test's default -timeout; raise it so a loaded
+# machine cannot flake the gate.
 race:
-	$(GO) test -race -short -timeout 30m ./internal/sim ./internal/workload ./internal/dnn
+	$(GO) test -race -short -timeout 30m ./internal/sim ./internal/workload ./internal/dnn ./internal/scheduler
 
 # bench runs the hot-path benchmark suite at a fixed benchtime (stable
 # enough for snapshot comparison) and writes the BENCH_<date>.json perf
@@ -56,8 +58,9 @@ bench-diff:
 # instead of blocking.
 # The equivalence tests are the correctness side of the perf work: they
 # pin every figure series bit-identical with the workload snapshot cache
-# on vs off, and with the event-queue core vs the reference slot loop, so
-# a perf "win" can never silently change results.
+# on vs off, with the event-queue core vs the reference slot loop, and
+# with the batched CORP refresh vs the per-VM forward path, so a perf
+# "win" can never silently change results.
 # The quick capture runs BEFORE the equivalence tests: committed
 # BENCH_*.json snapshots are taken on an otherwise-idle box, and several
 # minutes of figure sweeps right before the capture leave a small
@@ -72,7 +75,7 @@ check-perf:
 	elif [ "$(PERF_FATAL)" = "0" ]; then \
 		echo "check-perf: WARNING: kernel regression vs $$latest (non-fatal in make check)"; rm -f "$$tmp"; \
 	else rm -f "$$tmp"; exit 1; fi
-	$(GO) test -count=1 -run 'TestWorkloadCacheEquivalence|TestFigureCoreEquivalence' ./internal/experiments
+	$(GO) test -count=1 -run 'TestWorkloadCacheEquivalence|TestFigureCoreEquivalence|TestFigureBatchEquivalence' ./internal/experiments
 
 # bench-figs regenerates every figure once — the end-to-end sweep suite
 # (the old `make bench` behaviour).

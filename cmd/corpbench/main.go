@@ -16,6 +16,9 @@
 //	-workload-cache  on | off: share generated workload snapshots across
 //	            the sweep's runs (default on; figures are bit-identical
 //	            either way — see the cache-equivalence test)
+//	-forecast-tier  off | auto: CORP two-tier predictor for figure runs
+//	            (default off; off is bit-identical to the single-tier
+//	            pipeline — see the batch-equivalence test)
 //	-list       print the available figure ids and exit
 //	-md         render the output as a Markdown report
 //	-json       run the perf benchmark suite and write a JSON snapshot
@@ -66,6 +69,7 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "intra-run prediction-engine workers per simulation (0 = auto, 1 = serial)")
 	coreName := fs.String("core", "event", "simulator core: event or slot (bit-identical figures)")
 	wlCache := fs.String("workload-cache", "on", "share generated workload snapshots across runs: on or off")
+	forecastTier := fs.String("forecast-tier", "off", "CORP two-tier predictor for figure runs: off or auto")
 	list := fs.Bool("list", false, "print the available figure ids and exit")
 	md := fs.Bool("md", false, "render the output as a Markdown report")
 	benchJSON := fs.Bool("json", false, "run the perf benchmark suite and write a JSON snapshot")
@@ -130,7 +134,12 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	opts := corp.Options{Seed: *seed, Quick: *quick, Workers: *workers, Core: core}
+	switch *forecastTier {
+	case "off", "auto":
+	default:
+		return fmt.Errorf("forecast-tier: want off or auto, got %q", *forecastTier)
+	}
+	opts := corp.Options{Seed: *seed, Quick: *quick, Workers: *workers, Core: core, ForecastTier: *forecastTier}
 	ids := []string{*fig}
 	if *fig == "all" {
 		ids = corp.FigureIDs()

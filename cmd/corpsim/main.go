@@ -24,6 +24,10 @@
 //	-det      deterministic virtual clock for the overhead metric
 //	-workers  intra-run prediction-engine workers (0 = auto from the
 //	          shared budget, 1 = serial; results identical either way)
+//	-forecast-tier  off | auto: CORP two-tier predictor — auto serves
+//	          flat VMs from a cheap persistence+ridge forecaster and
+//	          escalates to the full DNN+HMM on drift (default off;
+//	          off is bit-identical to the single-tier pipeline)
 //	-workload-cache  on | off: share generated workload snapshots across
 //	          runs in this process (default on; results identical
 //	          either way, only wall time changes)
@@ -75,6 +79,7 @@ func run(args []string, out *os.File) error {
 	surge := fs.Float64("surge", 0, "per-VM per-slot resident demand-surge probability")
 	det := fs.Bool("det", false, "deterministic virtual clock for the overhead metric")
 	workers := fs.Int("workers", 0, "intra-run prediction-engine workers (0 = auto, 1 = serial)")
+	forecastTier := fs.String("forecast-tier", "off", "CORP two-tier predictor: off or auto")
 	wlCache := fs.String("workload-cache", "on", "share generated workload snapshots across runs: on or off")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,6 +121,13 @@ func run(args []string, out *os.File) error {
 	}
 	cfg.Scheduler.Corp.Pth = *pth
 	cfg.Scheduler.Corp.Eta = *eta
+	switch *forecastTier {
+	case "off":
+	case "auto":
+		cfg.Scheduler.Corp.TierEnabled = true
+	default:
+		return fmt.Errorf("forecast-tier: want off or auto, got %q", *forecastTier)
+	}
 	cfg.Scheduler.RCCR.Eta = *eta
 	cfg.LongJobs = *longJobs
 	cfg.Heterogeneous = *hetero
@@ -194,6 +206,11 @@ func printResult(out *os.File, r *sim.Result) {
 	fmt.Fprintf(out, " overall=%.3f\n", r.ClusterOverall)
 	fmt.Fprintf(out, "prediction  error rate %.3f over %d samples (ε band)\n",
 		r.PredictionErrorRate, r.PredictionSamples)
+	if r.TierHits+r.TierEscalations > 0 {
+		total := float64(r.TierHits + r.TierEscalations)
+		fmt.Fprintf(out, "forecast    tier served %d, escalated %d (%.1f%% first-tier)\n",
+			r.TierHits, r.TierEscalations, 100*float64(r.TierHits)/total)
+	}
 	fmt.Fprintf(out, "SLO         violation rate %.3f (finished %d, violated %d, unfinished %d)\n",
 		r.SLORate, r.SLO.Finished, r.SLO.Violated, r.SLO.Unfinished)
 	fmt.Fprintf(out, "placement   opportunistic %d, fresh %d, never placed %d, mean response %.1f slots (P50 %d, P95 %d)\n",

@@ -1,0 +1,153 @@
+package dnn
+
+import "fmt"
+
+// Batched feed-forward evaluation. The per-VM refresh path evaluates the
+// same (read-only) network on many independent input rows; doing that one
+// matrix-vector product at a time re-reads every weight slab once per row.
+// ForwardBatchInto instead runs a matrix-matrix forward: each layer's
+// weight rows are streamed once and applied to a block of input rows held
+// in registers, so the weight traffic is amortized across the whole batch.
+//
+// Bit-identity: each (row, neuron) pre-activation is still accumulated as
+// bias first, then fan-in index j ascending — exactly the chain
+// forwardLayer builds for a single row — so batched outputs are == the
+// per-sample ForwardInto outputs element for element. Rows never mix:
+// blocking only changes which independent accumulator chains are
+// interleaved in time, not any chain's internal order.
+
+// BatchScratch holds caller-owned activation planes for ForwardBatchInto.
+// Plane d is row-major rows×sizes[d]. Like FwdScratch, it is tied to a
+// topology rather than a specific network, and each concurrent caller
+// needs its own scratch.
+type BatchScratch struct {
+	sizes []int
+	rows  int
+	acts  [][]float64 // acts[d] is rows*sizes[d], row-major
+}
+
+// NewBatchScratch allocates batched forward scratch for this network's
+// topology, good for up to rows input rows per call.
+func (n *Network) NewBatchScratch(rows int) *BatchScratch {
+	if rows < 1 {
+		rows = 1
+	}
+	s := &BatchScratch{sizes: append([]int(nil), n.sizes...), rows: rows}
+	slab := make([]float64, rows*sum(n.sizes))
+	s.acts = make([][]float64, len(n.sizes))
+	off := 0
+	for d, sz := range n.sizes {
+		s.acts[d] = slab[off : off+rows*sz : off+rows*sz]
+		off += rows * sz
+	}
+	return s
+}
+
+// Rows returns the maximum batch size the scratch supports.
+func (s *BatchScratch) Rows() int { return s.rows }
+
+// ForwardBatchInto evaluates the network on a batch of input rows stored
+// in one flat row-major slab (rows = len(inputs)/inputSize) and returns
+// the flat rows×outputSize output plane, owned by the scratch and
+// overwritten by its next use. Row r of the result is bit-identical to
+// ForwardInto(inputs row r). Like ForwardInto it reads only the network's
+// weights, so concurrent calls on one network are safe provided no
+// training runs concurrently and each caller uses its own scratch. The
+// call performs no heap allocations.
+func (n *Network) ForwardBatchInto(s *BatchScratch, inputs []float64) ([]float64, error) {
+	inSize := n.sizes[0]
+	if len(inputs) == 0 || len(inputs)%inSize != 0 {
+		return nil, fmt.Errorf("dnn: batch inputs length %d not a positive multiple of %d", len(inputs), inSize)
+	}
+	rows := len(inputs) / inSize
+	if rows > s.rows {
+		return nil, fmt.Errorf("dnn: batch of %d rows exceeds scratch capacity %d", rows, s.rows)
+	}
+	if len(s.sizes) != len(n.sizes) {
+		return nil, fmt.Errorf("dnn: scratch for %d layers, network has %d", len(s.sizes), len(n.sizes))
+	}
+	for d, sz := range n.sizes {
+		if s.sizes[d] != sz {
+			return nil, fmt.Errorf("dnn: scratch topology %v, network %v", s.sizes, n.sizes)
+		}
+	}
+	copy(s.acts[0][:rows*inSize], inputs)
+	for d := 0; d < len(n.weights); d++ {
+		forwardBatchLayer(n.weights[d], n.biases[d], s.acts[d], s.acts[d+1], n.sizes[d], n.sizes[d+1], rows)
+	}
+	outSize := n.sizes[len(n.sizes)-1]
+	return s.acts[len(s.acts)-1][:rows*outSize], nil
+}
+
+// ForwardBatch is the convenience entry point over a network-owned batch
+// scratch, grown on demand. Not safe for concurrent use (use
+// ForwardBatchInto with per-caller scratch instead).
+func (n *Network) ForwardBatch(inputs []float64) ([]float64, error) {
+	inSize := n.sizes[0]
+	if len(inputs) == 0 || len(inputs)%inSize != 0 {
+		return nil, fmt.Errorf("dnn: batch inputs length %d not a positive multiple of %d", len(inputs), inSize)
+	}
+	rows := len(inputs) / inSize
+	if n.batch == nil || n.batch.rows < rows {
+		n.batch = n.NewBatchScratch(rows)
+	}
+	return n.ForwardBatchInto(n.batch, inputs)
+}
+
+// forwardBatchLayer applies one dense layer to a row-major rows×in
+// activation plane, producing the rows×out plane. The blocked pass holds
+// four input rows × two output neurons (eight accumulators) in registers
+// and streams each pair of weight rows exactly once per four-row block, so
+// at Table II widths the whole weight matrix stays cache-resident while
+// the batch flows through. Leftover rows (batch % 4) fall back to the
+// shared single-row forwardLayer kernel, keeping one source of truth for
+// the layer numerics.
+func forwardBatchLayer(w, b, prev, cur []float64, in, out, rows int) {
+	r := 0
+	for ; r+4 <= rows; r += 4 {
+		p0 := prev[(r+0)*in : (r+1)*in : (r+1)*in]
+		p1 := prev[(r+1)*in : (r+2)*in : (r+2)*in]
+		p2 := prev[(r+2)*in : (r+3)*in : (r+3)*in]
+		p3 := prev[(r+3)*in : (r+4)*in : (r+4)*in]
+		c0 := cur[(r+0)*out : (r+1)*out : (r+1)*out]
+		c1 := cur[(r+1)*out : (r+2)*out : (r+2)*out]
+		c2 := cur[(r+2)*out : (r+3)*out : (r+3)*out]
+		c3 := cur[(r+3)*out : (r+4)*out : (r+4)*out]
+		i := 0
+		for ; i+2 <= out; i += 2 {
+			w0 := w[(i+0)*in : (i+0)*in+in : (i+0)*in+in]
+			w1 := w[(i+1)*in : (i+1)*in+in : (i+1)*in+in]
+			s00, s01, s02, s03 := b[i], b[i], b[i], b[i]
+			s10, s11, s12, s13 := b[i+1], b[i+1], b[i+1], b[i+1]
+			for j := 0; j < in; j++ {
+				wa, wb := w0[j], w1[j]
+				g0, g1, g2, g3 := p0[j], p1[j], p2[j], p3[j]
+				s00 += wa * g0
+				s01 += wa * g1
+				s02 += wa * g2
+				s03 += wa * g3
+				s10 += wb * g0
+				s11 += wb * g1
+				s12 += wb * g2
+				s13 += wb * g3
+			}
+			c0[i], c1[i], c2[i], c3[i] = sigmoid(s00), sigmoid(s01), sigmoid(s02), sigmoid(s03)
+			c0[i+1], c1[i+1], c2[i+1], c3[i+1] = sigmoid(s10), sigmoid(s11), sigmoid(s12), sigmoid(s13)
+		}
+		for ; i < out; i++ {
+			row := w[i*in : i*in+in : i*in+in]
+			s0, s1, s2, s3 := b[i], b[i], b[i], b[i]
+			for j := 0; j < in; j++ {
+				wj := row[j]
+				s0 += wj * p0[j]
+				s1 += wj * p1[j]
+				s2 += wj * p2[j]
+				s3 += wj * p3[j]
+			}
+			c0[i], c1[i], c2[i], c3[i] = sigmoid(s0), sigmoid(s1), sigmoid(s2), sigmoid(s3)
+		}
+	}
+	for ; r < rows; r++ {
+		forwardLayer(w, b, prev[r*in:(r+1)*in], cur[r*out:(r+1)*out])
+	}
+}

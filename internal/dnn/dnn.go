@@ -64,6 +64,9 @@ type Network struct {
 	acts   [][]float64
 	deltas [][]float64
 	tmp    []float64 // fused-backward accumulator, sized to the widest layer
+
+	// batch is the network-owned scratch behind ForwardBatch, grown lazily.
+	batch *BatchScratch
 }
 
 // newShell allocates a network's slabs and views for the given topology
@@ -163,68 +166,71 @@ func (n *Network) forward(input []float64) {
 	forwardInto(n.weights, n.biases, n.acts, input)
 }
 
-// forwardInto is the feed-forward kernel (Eq. 5): blocked rows accumulate
-// eight output neurons at a time in registers, which breaks the one-long
-// dependent-add chain per neuron into independent pipelined chains. The
-// per-neuron accumulation order (bias, then fan-in ascending) is the same
-// as a plain nested loop. Activations land in acts, which the caller owns —
-// concurrent evaluations of one network are safe as long as each uses its
-// own acts buffers (see FwdScratch).
+// forwardInto is the feed-forward kernel (Eq. 5). Activations land in
+// acts, which the caller owns — concurrent evaluations of one network are
+// safe as long as each uses its own acts buffers (see FwdScratch).
 func forwardInto(weights, biases, acts [][]float64, input []float64) {
 	copy(acts[0], input)
 	for d := 0; d < len(weights); d++ {
-		prev := acts[d]
-		cur := acts[d+1]
-		in := len(prev)
-		w := weights[d]
-		b := biases[d]
-		i := 0
-		for ; i+8 <= len(cur); i += 8 {
-			r0 := w[(i+0)*in : (i+0)*in+in : (i+0)*in+in]
-			r1 := w[(i+1)*in : (i+1)*in+in : (i+1)*in+in]
-			r2 := w[(i+2)*in : (i+2)*in+in : (i+2)*in+in]
-			r3 := w[(i+3)*in : (i+3)*in+in : (i+3)*in+in]
-			r4 := w[(i+4)*in : (i+4)*in+in : (i+4)*in+in]
-			r5 := w[(i+5)*in : (i+5)*in+in : (i+5)*in+in]
-			r6 := w[(i+6)*in : (i+6)*in+in : (i+6)*in+in]
-			r7 := w[(i+7)*in : (i+7)*in+in : (i+7)*in+in]
-			s0, s1, s2, s3 := b[i], b[i+1], b[i+2], b[i+3]
-			s4, s5, s6, s7 := b[i+4], b[i+5], b[i+6], b[i+7]
-			for j, g := range prev {
-				s0 += r0[j] * g
-				s1 += r1[j] * g
-				s2 += r2[j] * g
-				s3 += r3[j] * g
-				s4 += r4[j] * g
-				s5 += r5[j] * g
-				s6 += r6[j] * g
-				s7 += r7[j] * g
-			}
-			cur[i], cur[i+1], cur[i+2], cur[i+3] = sigmoid(s0), sigmoid(s1), sigmoid(s2), sigmoid(s3)
-			cur[i+4], cur[i+5], cur[i+6], cur[i+7] = sigmoid(s4), sigmoid(s5), sigmoid(s6), sigmoid(s7)
+		forwardLayer(weights[d], biases[d], acts[d], acts[d+1])
+	}
+}
+
+// forwardLayer applies one dense layer to a single activation row: blocked
+// passes accumulate eight output neurons at a time in registers, which
+// breaks the one-long dependent-add chain per neuron into independent
+// pipelined chains. The per-neuron accumulation order (bias, then fan-in
+// ascending) is the same as a plain nested loop. The batched kernel
+// (batch.go) delegates its remainder rows here, so single-row and batched
+// evaluation share one definition of the layer numerics.
+func forwardLayer(w, b, prev, cur []float64) {
+	in := len(prev)
+	i := 0
+	for ; i+8 <= len(cur); i += 8 {
+		r0 := w[(i+0)*in : (i+0)*in+in : (i+0)*in+in]
+		r1 := w[(i+1)*in : (i+1)*in+in : (i+1)*in+in]
+		r2 := w[(i+2)*in : (i+2)*in+in : (i+2)*in+in]
+		r3 := w[(i+3)*in : (i+3)*in+in : (i+3)*in+in]
+		r4 := w[(i+4)*in : (i+4)*in+in : (i+4)*in+in]
+		r5 := w[(i+5)*in : (i+5)*in+in : (i+5)*in+in]
+		r6 := w[(i+6)*in : (i+6)*in+in : (i+6)*in+in]
+		r7 := w[(i+7)*in : (i+7)*in+in : (i+7)*in+in]
+		s0, s1, s2, s3 := b[i], b[i+1], b[i+2], b[i+3]
+		s4, s5, s6, s7 := b[i+4], b[i+5], b[i+6], b[i+7]
+		for j, g := range prev {
+			s0 += r0[j] * g
+			s1 += r1[j] * g
+			s2 += r2[j] * g
+			s3 += r3[j] * g
+			s4 += r4[j] * g
+			s5 += r5[j] * g
+			s6 += r6[j] * g
+			s7 += r7[j] * g
 		}
-		for ; i+4 <= len(cur); i += 4 {
-			r0 := w[(i+0)*in : (i+0)*in+in : (i+0)*in+in]
-			r1 := w[(i+1)*in : (i+1)*in+in : (i+1)*in+in]
-			r2 := w[(i+2)*in : (i+2)*in+in : (i+2)*in+in]
-			r3 := w[(i+3)*in : (i+3)*in+in : (i+3)*in+in]
-			s0, s1, s2, s3 := b[i], b[i+1], b[i+2], b[i+3]
-			for j, g := range prev {
-				s0 += r0[j] * g
-				s1 += r1[j] * g
-				s2 += r2[j] * g
-				s3 += r3[j] * g
-			}
-			cur[i], cur[i+1], cur[i+2], cur[i+3] = sigmoid(s0), sigmoid(s1), sigmoid(s2), sigmoid(s3)
+		cur[i], cur[i+1], cur[i+2], cur[i+3] = sigmoid(s0), sigmoid(s1), sigmoid(s2), sigmoid(s3)
+		cur[i+4], cur[i+5], cur[i+6], cur[i+7] = sigmoid(s4), sigmoid(s5), sigmoid(s6), sigmoid(s7)
+	}
+	for ; i+4 <= len(cur); i += 4 {
+		r0 := w[(i+0)*in : (i+0)*in+in : (i+0)*in+in]
+		r1 := w[(i+1)*in : (i+1)*in+in : (i+1)*in+in]
+		r2 := w[(i+2)*in : (i+2)*in+in : (i+2)*in+in]
+		r3 := w[(i+3)*in : (i+3)*in+in : (i+3)*in+in]
+		s0, s1, s2, s3 := b[i], b[i+1], b[i+2], b[i+3]
+		for j, g := range prev {
+			s0 += r0[j] * g
+			s1 += r1[j] * g
+			s2 += r2[j] * g
+			s3 += r3[j] * g
 		}
-		for ; i < len(cur); i++ {
-			row := w[i*in : i*in+in : i*in+in]
-			sum := b[i]
-			for j, g := range prev {
-				sum += row[j] * g
-			}
-			cur[i] = sigmoid(sum)
+		cur[i], cur[i+1], cur[i+2], cur[i+3] = sigmoid(s0), sigmoid(s1), sigmoid(s2), sigmoid(s3)
+	}
+	for ; i < len(cur); i++ {
+		row := w[i*in : i*in+in : i*in+in]
+		sum := b[i]
+		for j, g := range prev {
+			sum += row[j] * g
 		}
+		cur[i] = sigmoid(sum)
 	}
 }
 

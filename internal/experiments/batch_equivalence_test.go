@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+// TestFigureBatchEquivalence pins this tentpole's contract at figure
+// granularity: every series is bit-identical whether CORP's refresh runs
+// the batched gather → ForwardBatch → scatter pipeline (the default) or
+// the per-VM forward path, with the two-tier forecaster off. The cluster
+// profile covers the fleet-scale CORP runs where batching actually
+// engages; it is wired into `make check-perf` alongside the core and
+// workload-cache gates.
+func TestFigureBatchEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-figure equivalence sweep is slow; run without -short")
+	}
+	batched, err := runFigureSet(Options{Profile: cluster.ProfileCluster, Seed: 11, Quick: true})
+	if err != nil {
+		t.Fatalf("batched run: %v", err)
+	}
+	pervm, err := runFigureSet(Options{Profile: cluster.ProfileCluster, Seed: 11, Quick: true, DisableBatchedRefresh: true})
+	if err != nil {
+		t.Fatalf("per-VM run: %v", err)
+	}
+	if len(batched) != len(pervm) {
+		t.Fatalf("%d figures batched vs %d per-VM", len(batched), len(pervm))
+	}
+	for i := range batched {
+		compareFigures(t, "cluster", batched[i], pervm[i])
+	}
+	t.Logf("%d figures identical across refresh paths", len(batched))
+}

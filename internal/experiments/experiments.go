@@ -46,6 +46,13 @@ type Options struct {
 	// event core and the reference slot loop produce bit-identical
 	// figures — pinned by the core-equivalence test.
 	Core sim.Core
+	// ForecastTier enables CORP's two-tier predictor ("auto"); "" or
+	// "off" keeps the single-tier pipeline. Figures are pinned
+	// bit-identical with the tier off.
+	ForecastTier string
+	// DisableBatchedRefresh forces the per-VM refresh path (ablation /
+	// equivalence testing; the batched path is pinned bit-identical).
+	DisableBatchedRefresh bool
 }
 
 // jobCounts returns the Fig. 6/7/11 x-axis: 50–300 jobs step 50 (paper),
@@ -150,6 +157,8 @@ func (o Options) baseConfig(sc scheduler.Scheme, jobs int) sim.Config {
 	// Fleet runs feed the shared DNN from every VM each slot; a light
 	// replay factor keeps accuracy without quadratic training cost.
 	cfg.Scheduler.Corp.ReplaySteps = 2
+	cfg.Scheduler.Corp.TierEnabled = o.ForecastTier == "auto"
+	cfg.Scheduler.DisableBatchedRefresh = o.DisableBatchedRefresh
 	return cfg
 }
 

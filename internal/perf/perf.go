@@ -53,6 +53,18 @@ type Snapshot struct {
 	// over the suite run (reset at suite start), so sharing regressions —
 	// a sweep that stops hitting — are visible in the committed JSON.
 	WorkloadCache *workload.Stats `json:"workload_cache,omitempty"`
+	// Tier records the two-tier forecaster's counters over the
+	// engine/refresh20k-tier bench (full suite only): how many per-kind
+	// forecasts the cheap first tier served versus escalated to the DNN.
+	// A snapshot whose hit share collapses means the tier stopped
+	// engaging and the tier bench is timing the full DNN path.
+	Tier *TierStats `json:"tier,omitempty"`
+}
+
+// TierStats is the two-tier forecaster's hit/escalation tally.
+type TierStats struct {
+	Hits        int `json:"hits"`
+	Escalations int `json:"escalations"`
 }
 
 // nsGatePrefixes mark the benches whose ns/op regressions fail Diff: the
@@ -114,7 +126,10 @@ func Suite(quick bool) (snap Snapshot) {
 		// one-sided, so the min is the robust estimator and keeps the
 		// 10% Diff gate from tripping on a noisy-neighbor sample.
 		reps := 3
-		if strings.HasPrefix(name, "figure/") || strings.HasPrefix(name, "scale/") {
+		// The 20k-fleet refresh trio pays a multi-second fleet build and
+		// warmup per rep; like the end-to-end benches it runs once.
+		if strings.HasPrefix(name, "figure/") || strings.HasPrefix(name, "scale/") ||
+			strings.HasPrefix(name, "engine/refresh20k") {
 			reps = 1
 		}
 		var best testing.BenchmarkResult
@@ -139,6 +154,27 @@ func Suite(quick bool) (snap Snapshot) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if _, err := net.Forward(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("dnn/forward-batch-tableII", func(b *testing.B) {
+		// One 256-row batched forward over the Table II shape: the batched
+		// refresh engine's kernel. ns/op is per batch (÷256 for per-row);
+		// the win over 256 single-row Forwards is modest on this shape —
+		// the sigmoid evaluations dominate — but the kernel must stay
+		// allocation-free and never regress.
+		net, in, _ := tableIINet(1)
+		const rows = 256
+		ins := make([]float64, rows*len(in))
+		for r := 0; r < rows; r++ {
+			copy(ins[r*len(in):], in)
+		}
+		scratch := net.NewBatchScratch(rows)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.ForwardBatchInto(scratch, ins); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -208,6 +244,33 @@ func Suite(quick bool) (snap Snapshot) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			p.Observe(refreshVector(i))
+			p.Predict()
+			outcomes = p.AppendOutcomes(outcomes[:0])
+		}
+	})
+	add("predict/two-tier-refresh", func(b *testing.B) {
+		// The corp-refresh shape with the two-tier forecaster enabled and
+		// slow-moving telemetry, so the cheap first tier serves in steady
+		// state: the per-VM refresh cost this PR's tier exists to cut.
+		brain, err := predict.NewCorpBrain(predict.CorpConfig{Seed: 1, TierEnabled: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		capacity := resource.Vector{8, 16, 100}
+		p := predict.NewCorpPredictor(brain, capacity, 1)
+		var outcomes []predict.ErrorSample
+		for i := 0; i < 128; i++ {
+			p.Observe(tierVector(i))
+			p.Predict()
+			outcomes = p.AppendOutcomes(outcomes[:0])
+		}
+		if hits, _ := p.TierCounters(); hits == 0 {
+			b.Fatal("two-tier bench: tier never served during warmup")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Observe(tierVector(i))
 			p.Predict()
 			outcomes = p.AppendOutcomes(outcomes[:0])
 		}
@@ -462,8 +525,80 @@ func Suite(quick bool) (snap Snapshot) {
 				})
 			}
 		}
+		// One window's CORP Refresh over the full 20000-VM scale fleet:
+		// the per-VM forward baseline, the batched gather → ForwardBatch →
+		// scatter pipeline (identical predictions — the equivalence tests),
+		// and the batched pipeline with the two-tier forecaster serving the
+		// (flat) fleet. The tier entry is the headline: first-tier hits
+		// skip the DNN+HMM work entirely, so its ratio to the per-VM entry
+		// is the realizable refresh speedup on calm fleets.
+		add("engine/refresh20k-pervm-w1", refresh20kBench(true, false, nil, nil))
+		add("engine/refresh20k-batched-w1", refresh20kBench(false, false, nil, nil))
+		var tierHits, tierEscal int
+		add("engine/refresh20k-tier-w1", refresh20kBench(false, true, &tierHits, &tierEscal))
+		if tierHits+tierEscal > 0 {
+			snap.Tier = &TierStats{Hits: tierHits, Escalations: tierEscal}
+		}
 	}
 	return snap
+}
+
+// refresh20kBench builds the 20000-VM CORP fleet, warms it through enough
+// observe/refresh cycles that training is live (and, with the tier on,
+// that the shadow forecasts have matured and the tier serves), then times
+// Refresh alone; each iteration's observations are fed off the timer.
+// The counter pointers, when non-nil, receive the fleet's tier tallies
+// after the timed loop.
+func refresh20kBench(disableBatched, tier bool, hits, escal *int) func(b *testing.B) {
+	return func(b *testing.B) {
+		cl, err := cluster.New(cluster.Config{Profile: cluster.ProfileScale})
+		if err != nil {
+			b.Fatal(err)
+		}
+		scfg := scheduler.Config{Scheme: scheduler.CORP, Seed: 1, Workers: 1, DisableBatchedRefresh: disableBatched}
+		// One replay step keeps the (off-timer) per-slot training cost down
+		// without changing what Refresh itself does.
+		scfg.Corp.ReplaySteps = 1
+		scfg.Corp.TierEnabled = tier
+		sched, err := scheduler.New(scfg, cl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bo, ok := sched.(scheduler.BatchObserver)
+		if !ok {
+			b.Fatal("CORP scheduler does not implement BatchObserver")
+		}
+		unused := make([]resource.Vector, len(cl.VMs))
+		for v := range unused {
+			c := cl.VMs[v].Capacity
+			f := 0.3 + 0.4*float64(v%7)/7
+			unused[v] = resource.Vector{c[0] * f, c[1] * f * 0.9, c[2] * f * 0.7}
+		}
+		// Warm past cold start (Δ + window slots) and through enough
+		// refresh cycles that the tier's shadow forecasts mature: the
+		// telemetry is constant per VM, so persistence is exact and a
+		// trusted tier serves the whole fleet.
+		for i := 0; i < 48; i++ {
+			bo.ObserveAll(unused, nil)
+			if i%6 == 5 {
+				sched.Refresh()
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			bo.ObserveAll(unused, nil)
+			b.StartTimer()
+			sched.Refresh()
+		}
+		b.StopTimer()
+		if tc, ok := sched.(interface{ TierCounters() (int, int) }); ok && hits != nil && escal != nil {
+			*hits, *escal = tc.TierCounters()
+			if tier && *hits == 0 {
+				b.Fatal("refresh20k tier bench: tier never served")
+			}
+		}
+	}
 }
 
 // quickRunConfig is the quick-figure-shaped single run (20 PMs / 60 VMs /
@@ -586,6 +721,14 @@ func engineFleet(b *testing.B, workers int) (scheduler.BatchObserver, scheduler.
 // thresholds are non-degenerate and every correction branch stays live.
 func refreshVector(i int) resource.Vector {
 	f := 0.35 + 0.25*math.Sin(float64(i)/5) + 0.05*float64(i%7)
+	return resource.Vector{8 * f, 16 * f * 0.9, 100 * f * 0.7}
+}
+
+// tierVector is slow-moving unused telemetry for the two-tier bench:
+// enough drift that history stays non-degenerate, little enough that the
+// first tier's persistence forecast stays inside its trust threshold.
+func tierVector(i int) resource.Vector {
+	f := 0.5 + 0.02*math.Sin(float64(i)/40)
 	return resource.Vector{8 * f, 16 * f * 0.9, 100 * f * 0.7}
 }
 
@@ -719,6 +862,20 @@ func Diff(old, new Snapshot, tol float64) (string, error) {
 		if _, ok := newBy[name]; !ok {
 			fmt.Fprintf(&sb, "%-28s %14.1f %14s %8s\n", name, oldBy[name].NsPerOp, "-", "gone")
 		}
+	}
+	if old.Tier != nil || new.Tier != nil {
+		fmtTier := func(t *TierStats) string {
+			if t == nil {
+				return "-"
+			}
+			total := t.Hits + t.Escalations
+			if total == 0 {
+				return "0 decisions"
+			}
+			return fmt.Sprintf("%d served / %d escalated (%.1f%% first-tier)",
+				t.Hits, t.Escalations, 100*float64(t.Hits)/float64(total))
+		}
+		fmt.Fprintf(&sb, "two-tier forecaster: old %s, new %s\n", fmtTier(old.Tier), fmtTier(new.Tier))
 	}
 	if len(failures) > 0 {
 		return sb.String(), fmt.Errorf("perf: kernel regression:\n  %s", strings.Join(failures, "\n  "))

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 
 	"repro/internal/dnn"
@@ -51,6 +52,26 @@ type CorpConfig struct {
 	// the confidence-interval adjustment; used by the ablation benches.
 	DisableHMM bool
 	DisableCI  bool
+
+	// TierEnabled turns on the two-tier forecaster (tier.go): VMs whose
+	// first-tier rolling error stays under TierThreshold are served by a
+	// near-free persistence/ridge forecast instead of the DNN+HMM path.
+	// Off by default — the single-tier pipeline is bit-identical to the
+	// pre-tier implementation.
+	TierEnabled bool
+	// TierThreshold is the capacity-relative EWMA error below which the
+	// first tier serves; zero defaults to 0.05 (half of Epsilon's default
+	// tolerance, so tier-served VMs stay well inside the Eq. 21 band).
+	TierThreshold float64
+	// TierMinScored is how many matured shadow forecasts the tier needs
+	// before it may serve; zero defaults to 4 (mirroring coldSkip).
+	TierMinScored int
+	// TierRidgeWindow is how many recent slots feed the first tier's
+	// ridge trend; zero defaults to 2×Window (the Δ of the DNN input).
+	TierRidgeWindow int
+	// TierLambda is the ridge regularizer on the trend slope; zero
+	// defaults to 4.0.
+	TierLambda float64
 }
 
 func (c CorpConfig) withDefaults() CorpConfig {
@@ -87,6 +108,18 @@ func (c CorpConfig) withDefaults() CorpConfig {
 	if c.ReplaySteps <= 0 {
 		c.ReplaySteps = 5
 	}
+	if c.TierThreshold <= 0 {
+		c.TierThreshold = 0.05
+	}
+	if c.TierMinScored <= 0 {
+		c.TierMinScored = 4
+	}
+	if c.TierRidgeWindow <= 0 {
+		c.TierRidgeWindow = 2 * c.Window
+	}
+	if c.TierLambda <= 0 {
+		c.TierLambda = 4.0
+	}
 	return c
 }
 
@@ -104,6 +137,11 @@ type brainKind struct {
 	replayPos int
 	batchIn   []float64 // (1+ReplaySteps) rows × InputSlots
 	batchTgt  []float64 // (1+ReplaySteps) targets
+	// fwd backs the brain's own single-sample forward; fwdBatch backs
+	// ForwardBatchKind (grown on demand). Per-kind ownership keeps the
+	// kinds fully independent for the engine's per-kind concurrency.
+	fwd      *dnn.FwdScratch
+	fwdBatch *dnn.BatchScratch
 	// steps counts SGD updates; errs counts rejected online training
 	// calls (malformed samples) so a broken feed cannot masquerade as a
 	// trained predictor.
@@ -155,9 +193,13 @@ func NewCorpBrain(cfg CorpConfig) (*CorpBrain, error) {
 		kk.replayTgt = make([]float64, replayCap)
 		kk.batchIn = make([]float64, (1+cfg.ReplaySteps)*cfg.InputSlots)
 		kk.batchTgt = make([]float64, 1+cfg.ReplaySteps)
+		kk.fwd = net.NewFwdScratch()
 	}
 	return b, nil
 }
+
+// InputSlots returns Δ, the per-kind network's input width.
+func (b *CorpBrain) InputSlots() int { return b.cfg.InputSlots }
 
 // TrainSteps returns the number of SGD updates performed so far, summed
 // over resource kinds.
@@ -225,14 +267,39 @@ func (b *CorpBrain) train(k resource.Kind, input []float64, target float64) erro
 	return nil
 }
 
-// forward evaluates the kind-k network into its own scratch. Not safe for
-// concurrent use; the engine's parallel Refresh goes through forwardInto.
+// forward evaluates the kind-k network into brain-owned per-kind scratch
+// via ForwardInto, so no forward path allocates per call (the network's
+// Forward would reuse its training activations, which is safe serially but
+// shares scratch with trainOne; the dedicated FwdScratch keeps evaluation
+// and training buffers disjoint). Not safe for concurrent use on one kind;
+// the engine's parallel Refresh goes through forwardInto with per-caller
+// scratch.
 func (b *CorpBrain) forward(k resource.Kind, input []float64) (float64, error) {
-	out, err := b.kinds[k].net.Forward(input)
+	kk := &b.kinds[k]
+	out, err := kk.net.ForwardInto(kk.fwd, input)
 	if err != nil {
 		return 0, err
 	}
 	return out[0], nil
+}
+
+// ForwardBatchKind evaluates the kind-k network on a flat row-major batch
+// of input rows (len(inputs)/Δ rows) and returns one output per row,
+// bit-identical per row to forwardInto. The scratch is brain-owned per
+// kind and grown on demand, so steady-state calls perform no allocations;
+// calls for distinct kinds may run concurrently (with no concurrent
+// training), calls for one kind must be serialized.
+func (b *CorpBrain) ForwardBatchKind(k resource.Kind, inputs []float64) ([]float64, error) {
+	kk := &b.kinds[k]
+	in := b.cfg.InputSlots
+	if len(inputs) == 0 || len(inputs)%in != 0 {
+		return nil, fmt.Errorf("predict: forward batch kind %v: inputs length %d not a positive multiple of %d", k, len(inputs), in)
+	}
+	rows := len(inputs) / in
+	if kk.fwdBatch == nil || kk.fwdBatch.Rows() < rows {
+		kk.fwdBatch = kk.net.NewBatchScratch(rows)
+	}
+	return kk.net.ForwardBatchInto(kk.fwdBatch, inputs)
 }
 
 // forwardInto evaluates the kind-k network into caller-owned scratch,
@@ -267,8 +334,20 @@ type CorpPredictor struct {
 
 	hmms        [resource.NumKinds]*hmm.Model
 	predictions int
-	scratch     []float64
 	fwd         *dnn.FwdScratch
+
+	// Two-tier forecaster state (tier.go) and its per-run counters.
+	tier      [resource.NumKinds]tierState
+	tierHits  int
+	tierEscal int
+
+	// Split-prediction state carried from PredictPrepare to
+	// PredictFinish: how each kind's estimate is produced this refresh,
+	// the tier's value when it serves, and the serial path's own DNN
+	// input rows (the engine supplies its staging slab instead).
+	mode     [resource.NumKinds]uint8
+	tierVal  [resource.NumKinds]float64
+	predRows [resource.NumKinds][]float64
 
 	// Symbolization scratch for hmmCorrect, reused across kinds and
 	// predictions (each call fully rewrites both before reading).
@@ -295,14 +374,14 @@ type CorpPredictor struct {
 func NewCorpPredictor(brain *CorpBrain, capacity resource.Vector, seed int64) *CorpPredictor {
 	cfg := brain.cfg
 	p := &CorpPredictor{
-		cfg:     cfg,
-		brain:   brain,
-		track:   newTracker(cfg.Window, cfg.HistoryLen, capacity),
-		scratch: make([]float64, cfg.InputSlots),
-		fwd:     brain.newFwdScratch(),
+		cfg:   cfg,
+		brain: brain,
+		track: newTracker(cfg.Window, cfg.HistoryLen, capacity),
+		fwd:   brain.newFwdScratch(),
 	}
 	for k := range p.stageIn {
 		p.stageIn[k] = make([]float64, cfg.InputSlots)
+		p.predRows[k] = make([]float64, cfg.InputSlots)
 	}
 	for k := range p.hmms {
 		p.hmms[k] = hmm.NewPaperModel(seed + int64(k))
@@ -372,32 +451,110 @@ func (p *CorpPredictor) FlushShared(k resource.Kind) {
 // feeding it), matching how TrainSteps is accounted.
 func (p *CorpPredictor) TrainErrors() int { return p.brain.TrainErrors() }
 
-// Predict implements Predictor: DNN estimate, HMM peak/valley correction,
-// confidence-interval adjustment, Eq. 21 gate.
+// Per-kind estimate modes carried from PredictPrepare to PredictFinish.
+const (
+	// refreshFallback: cold start (or degenerate capacity) — the
+	// historical mean stands in for the DNN estimate.
+	refreshFallback uint8 = iota
+	// refreshDNN: the full path; the kind needs a DNN forward.
+	refreshDNN
+	// refreshTier: the first-tier forecast serves (tier.go).
+	refreshTier
+)
+
+// Predict implements Predictor: DNN estimate (or first-tier forecast),
+// HMM peak/valley correction, confidence-interval adjustment, Eq. 21
+// gate. It is PredictPrepare + per-kind forwards + PredictFinish; the
+// parallel engine runs the same halves around one batched forward per
+// kind instead, so both paths share every line of pipeline logic.
 func (p *CorpPredictor) Predict() Prediction {
+	need := p.PredictPrepare(&p.predRows)
+	var outs [resource.NumKinds]float64
+	for _, k := range resource.Kinds() {
+		if !need[k] {
+			continue
+		}
+		norm, err := p.brain.forwardInto(k, p.fwd, p.predRows[k])
+		if err != nil {
+			norm = math.NaN() // PredictFinish falls back to the mean
+		}
+		outs[k] = norm
+	}
+	return p.PredictFinish(&outs)
+}
+
+// PredictPrepare is the first half of a split prediction: it decides how
+// each kind's estimate will be produced and, for kinds that need a DNN
+// forward, writes the normalized Δ-slot input into rows[k] (caller-owned,
+// each at least InputSlots long) and sets need[k]. The caller must run
+// the forwards for the needed kinds and hand the raw normalized outputs
+// to PredictFinish; kinds with need[k] false ignore their output slot.
+// The batched refresh path gathers rows from many VMs into contiguous
+// per-kind staging and runs one batched forward per kind.
+func (p *CorpPredictor) PredictPrepare(rows *[resource.NumKinds][]float64) (need [resource.NumKinds]bool) {
 	p.predictions++
+	for _, k := range resource.Kinds() {
+		vals := p.track.histValues(k)
+		capK := p.track.capacity[k]
+		if len(vals) < p.cfg.InputSlots || capK <= 0 {
+			// Cold start: PredictFinish falls back to the historical mean.
+			p.mode[k] = refreshFallback
+			continue
+		}
+		if p.cfg.TierEnabled {
+			ts := &p.tier[k]
+			ts.score(vals, p.track.slot, p.cfg.Window, capK)
+			f := tierForecast(vals, p.cfg.Window, p.cfg.TierRidgeWindow, p.cfg.TierLambda, capK)
+			ts.record(p.track.slot, f)
+			if ts.trusted(p.cfg.TierMinScored, p.cfg.TierThreshold) {
+				p.mode[k] = refreshTier
+				p.tierVal[k] = f
+				p.tierHits++
+				continue
+			}
+			p.tierEscal++
+		}
+		p.mode[k] = refreshDNN
+		row := rows[k]
+		for i := 0; i < p.cfg.InputSlots; i++ {
+			row[i] = clamp01(vals[len(vals)-p.cfg.InputSlots+i] / capK)
+		}
+		need[k] = true
+	}
+	return need
+}
+
+// PredictFinish is the second half of a split prediction: given the raw
+// normalized DNN outputs for the kinds PredictPrepare marked as needing a
+// forward (NaN means the forward failed and the historical-mean fallback
+// applies), it runs the rest of the pipeline — HMM correction for
+// DNN/fallback estimates, the Eq. 19 confidence-interval adjustment, and
+// the Eq. 21 gate — exactly as the single-call Predict always has.
+// Tier-served kinds skip the HMM correction (the tier replaces the
+// DNN+HMM estimate) but keep the CI adjustment and the gate.
+func (p *CorpPredictor) PredictFinish(outs *[resource.NumKinds]float64) Prediction {
 	var out resource.Vector
 	unlocked := true
 	z := stats.ZForConfidence(p.cfg.Eta)
 	for _, k := range resource.Kinds() {
-		vals := p.track.histValues(k)
 		capK := p.track.capacity[k]
 		var yhat float64
-		if len(vals) < p.cfg.InputSlots || capK <= 0 {
-			// Cold start: fall back to the historical mean.
-			yhat = stats.Mean(vals)
+		if p.mode[k] == refreshTier {
+			yhat = p.tierVal[k]
 		} else {
-			for i := 0; i < p.cfg.InputSlots; i++ {
-				p.scratch[i] = clamp01(vals[len(vals)-p.cfg.InputSlots+i] / capK)
+			vals := p.track.histValues(k)
+			if p.mode[k] == refreshFallback {
+				yhat = stats.Mean(vals)
+			} else {
+				norm := outs[k]
+				if math.IsNaN(norm) {
+					norm = clamp01(stats.Mean(vals) / capK)
+				}
+				yhat = norm * capK
 			}
-			norm, err := p.brain.forwardInto(k, p.fwd, p.scratch)
-			if err != nil {
-				norm = clamp01(stats.Mean(vals) / capK)
+			if !p.cfg.DisableHMM {
+				yhat = p.hmmCorrect(k, vals, yhat)
 			}
-			yhat = norm * capK
-		}
-		if !p.cfg.DisableHMM {
-			yhat = p.hmmCorrect(k, vals, yhat)
 		}
 		if !p.cfg.DisableCI {
 			yhat -= p.track.errStdDev(k) * z // Eq. 19 lower bound
@@ -415,6 +572,17 @@ func (p *CorpPredictor) Predict() Prediction {
 	out = p.track.clampToCapacity(out)
 	p.track.recordPrediction(out)
 	return Prediction{Unused: out, Unlocked: unlocked}
+}
+
+// Brain exposes the shared CORP brain so the batched refresh engine can
+// run the per-kind forwards between PredictPrepare and PredictFinish.
+func (p *CorpPredictor) Brain() *CorpBrain { return p.brain }
+
+// TierCounters returns how many per-kind estimates the first tier served
+// and how many escalated to the full DNN path while the tier was enabled.
+// Both stay zero with TierEnabled off.
+func (p *CorpPredictor) TierCounters() (hits, escalations int) {
+	return p.tierHits, p.tierEscal
 }
 
 // hmmCorrect applies the Section III-A-1b fluctuation correction for one

@@ -1,0 +1,136 @@
+package predict
+
+import (
+	"repro/internal/stats"
+)
+
+// Two-tier forecasting. The full CORP pipeline (DNN forward + HMM
+// correction) costs microseconds per VM per refresh; across a 20k-VM
+// fleet that is the refresh wall. But most VMs are flat most of the time,
+// and for those a near-free classical forecaster is just as accurate —
+// the "easily implementable" persistence and windowed-regression
+// techniques from the time-series provisioning literature. The first tier
+// runs one of those over the same history ring the DNN reads; a VM is
+// served by the tier only while the tier's own rolling (capacity-relative)
+// error stays under CorpConfig.TierThreshold, and escalates back to the
+// full DNN+HMM path the moment it drifts. The confidence-interval
+// adjustment and the Eq. 21 gate still apply to tier-served forecasts, so
+// the safety layer is identical for both tiers.
+//
+// The tier is scored continuously even while the DNN serves: every
+// refresh makes a shadow forecast, which matures once its window of
+// actuals lands in the history ring, updating an EWMA of the relative
+// error. Serving therefore requires TierMinScored matured shadow
+// forecasts below threshold — a cold VM cannot be tier-served.
+//
+// With TierEnabled false (the default) no tier state is touched and the
+// pipeline is bit-identical to the single-tier implementation.
+
+// tierPending is one shadow forecast waiting for its window of actuals.
+type tierPending struct {
+	madeAt int
+	value  float64
+}
+
+// tierState is one resource kind's first-tier bookkeeping.
+type tierState struct {
+	pending []tierPending
+	// errEW is the EWMA of matured capacity-relative |error|; scored
+	// counts matured shadow forecasts.
+	errEW  float64
+	scored int
+}
+
+// tierAlpha is the EWMA weight of the newest matured error.
+const tierAlpha = 0.3
+
+// score matures every due shadow forecast against the history ring.
+// vals is the kind's full history (oldest first), slot the tracker's
+// current slot counter, window the horizon L. A forecast made at slot s
+// covers slots s+1..s+window, i.e. vals[len-(slot-s) : len-(slot-s)+window];
+// forecasts whose window has scrolled out of the ring are dropped
+// unscored. Allocation-free in steady state (the pending backing array is
+// reused).
+func (ts *tierState) score(vals []float64, slot, window int, capK float64) {
+	if len(ts.pending) == 0 {
+		return
+	}
+	keep := ts.pending[:0]
+	for _, p := range ts.pending {
+		age := slot - p.madeAt
+		if age < window {
+			keep = append(keep, p)
+			continue
+		}
+		start := len(vals) - age
+		if start < 0 || capK <= 0 {
+			continue // scrolled out of the ring (or degenerate VM): drop
+		}
+		realized := stats.Mean(vals[start : start+window])
+		rel := (realized - p.value) / capK
+		if rel < 0 {
+			rel = -rel
+		}
+		if ts.scored == 0 {
+			ts.errEW = rel
+		} else {
+			ts.errEW = (1-tierAlpha)*ts.errEW + tierAlpha*rel
+		}
+		ts.scored++
+	}
+	ts.pending = keep
+}
+
+// record queues a fresh shadow forecast.
+func (ts *tierState) record(slot int, value float64) {
+	ts.pending = append(ts.pending, tierPending{madeAt: slot, value: value})
+}
+
+// trusted reports whether the tier has earned the right to serve.
+func (ts *tierState) trusted(minScored int, threshold float64) bool {
+	return ts.scored >= minScored && ts.errEW <= threshold
+}
+
+// tierForecast is the first-tier estimate of the next window's mean
+// unused amount, clamped to [0, capK]. With at least ridgeWin slots of
+// history it damps a ridge-regularized linear trend against persistence
+// (the last window's mean); with less it falls back to plain persistence.
+// Both are classical "easily implementable" forecasters; the damped blend
+// keeps a noisy short-window slope from overshooting. Allocation-free.
+func tierForecast(vals []float64, window, ridgeWin int, lambda, capK float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	p := vals
+	if len(p) > window {
+		p = p[len(p)-window:]
+	}
+	persistence := stats.Mean(p)
+	f := persistence
+	if len(vals) >= ridgeWin && ridgeWin >= 2 {
+		// Closed-form ridge over the last ridgeWin points, x = 0..n-1,
+		// slope-only regularization: b = Sxy/(Sxx+λ), a = ȳ − b·x̄.
+		// Forecast the mean over the next window, i.e. at
+		// x* = (n-1) + (window+1)/2.
+		w := vals[len(vals)-ridgeWin:]
+		n := float64(ridgeWin)
+		xbar := (n - 1) / 2
+		ybar := stats.Mean(w)
+		sxx := n * (n*n - 1) / 12
+		sxy := 0.0
+		for i, y := range w {
+			sxy += (float64(i) - xbar) * (y - ybar)
+		}
+		slope := sxy / (sxx + lambda)
+		xstar := (n - 1) + (float64(window)+1)/2
+		trend := ybar + slope*(xstar-xbar)
+		f = 0.5*persistence + 0.5*trend
+	}
+	if f < 0 {
+		f = 0
+	}
+	if capK > 0 && f > capK {
+		f = capK
+	}
+	return f
+}

@@ -1,0 +1,171 @@
+package predict
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/resource"
+	"repro/internal/stats"
+)
+
+func TestTierForecastPersistenceOnFlatHistory(t *testing.T) {
+	vals := make([]float64, 30)
+	for i := range vals {
+		vals[i] = 4.5
+	}
+	got := tierForecast(vals, 6, 12, 4.0, 8)
+	if got != 4.5 {
+		t.Fatalf("flat history: forecast %v, want 4.5", got)
+	}
+}
+
+func TestTierForecastTracksLinearTrend(t *testing.T) {
+	// y = 0.1·i: persistence alone lags a ramp; the damped ridge blend
+	// must land strictly between persistence and the true next-window mean.
+	vals := make([]float64, 40)
+	for i := range vals {
+		vals[i] = 0.1 * float64(i)
+	}
+	window, ridgeWin := 6, 12
+	persistence := stats.Mean(vals[len(vals)-window:])
+	truth := 0.0
+	for i := 0; i < window; i++ {
+		truth += 0.1 * float64(len(vals)+i)
+	}
+	truth /= float64(window)
+	got := tierForecast(vals, window, ridgeWin, 4.0, 100)
+	if !(got > persistence && got < truth) {
+		t.Fatalf("ramp: forecast %v not in (persistence %v, truth %v)", got, persistence, truth)
+	}
+}
+
+func TestTierForecastClamps(t *testing.T) {
+	up := []float64{7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18}
+	if got := tierForecast(up, 4, 8, 0.1, 10); got != 10 {
+		t.Fatalf("overshoot: forecast %v, want clamp to capacity 10", got)
+	}
+	down := []float64{5, 4, 3, 2, 1, 0, -1, -2, -3, -4, -5, -6}
+	if got := tierForecast(down, 4, 8, 0.1, 10); got != 0 {
+		t.Fatalf("undershoot: forecast %v, want clamp to 0", got)
+	}
+	if got := tierForecast(nil, 4, 8, 0.1, 10); got != 0 {
+		t.Fatalf("empty history: forecast %v, want 0", got)
+	}
+}
+
+func TestTierScoreMaturesAgainstRealizedWindow(t *testing.T) {
+	var ts tierState
+	// History ring: slot i holds value i (20 slots, slot counter = 20).
+	vals := make([]float64, 20)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	window := 4
+	// A forecast made at slot 14 covers slots 14..17, whose realized mean
+	// is (14+15+16+17)/4 = 15.5. Forecast 13.5 → |err|/cap = 2/10 = 0.2.
+	ts.record(14, 13.5)
+	ts.score(vals, 20, window, 10)
+	if ts.scored != 1 {
+		t.Fatalf("scored %d forecasts, want 1", ts.scored)
+	}
+	if math.Abs(ts.errEW-0.2) > 1e-12 {
+		t.Fatalf("errEW %v, want 0.2", ts.errEW)
+	}
+	// A forecast made 1 slot ago is not yet mature and must stay pending.
+	ts.record(19, 18)
+	ts.score(vals, 20, window, 10)
+	if len(ts.pending) != 1 || ts.scored != 1 {
+		t.Fatalf("immature forecast: pending %d scored %d, want 1/1", len(ts.pending), ts.scored)
+	}
+	// A forecast whose window scrolled out of the ring drops unscored.
+	ts.record(-10, 1)
+	ts.score(vals, 20, window, 10)
+	if ts.scored != 1 {
+		t.Fatalf("scrolled-out forecast was scored: %d", ts.scored)
+	}
+}
+
+func TestTierTrustRequiresScoredHistoryAndLowError(t *testing.T) {
+	var ts tierState
+	if ts.trusted(4, 0.05) {
+		t.Fatal("cold tier must not be trusted")
+	}
+	ts.scored, ts.errEW = 4, 0.04
+	if !ts.trusted(4, 0.05) {
+		t.Fatal("scored tier under threshold must be trusted")
+	}
+	ts.errEW = 0.06
+	if ts.trusted(4, 0.05) {
+		t.Fatal("tier over threshold must escalate")
+	}
+}
+
+// TestTierServesFlatVMAndEscalatesOnDrift drives one predictor: a long
+// flat phase must hand the kind to the first tier (persistence is exact),
+// and a burst of volatility must push the rolling error over threshold so
+// predictions escalate back to the DNN.
+func TestTierServesFlatVMAndEscalatesOnDrift(t *testing.T) {
+	brain, err := NewCorpBrain(CorpConfig{Seed: 2, TierEnabled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewCorpPredictor(brain, resource.Vector{8, 16, 100}, 1)
+	flat := resource.Vector{3, 6, 40}
+	for i := 0; i < 80; i++ {
+		p.Observe(flat)
+		p.Predict()
+	}
+	hits, escal := p.TierCounters()
+	if hits == 0 {
+		t.Fatalf("flat telemetry: tier hits %d escalations %d, want tier to serve", hits, escal)
+	}
+	for k := range p.mode {
+		if p.mode[k] != refreshTier {
+			t.Fatalf("flat telemetry kind %d: mode %d, want tier-served", k, p.mode[k])
+		}
+	}
+	// Volatile phase: persistence misses badly, the EWMA error climbs, and
+	// the predictor must stop tier-serving.
+	for i := 0; i < 60; i++ {
+		f := 0.1 + 0.8*float64(i%2)
+		p.Observe(resource.Vector{8 * f, 16 * f, 100 * f})
+		p.Predict()
+	}
+	for k := range p.mode {
+		if p.mode[k] == refreshTier {
+			t.Fatalf("volatile telemetry kind %d still tier-served (errEW %v)", k, p.tier[k].errEW)
+		}
+	}
+	_, escalAfter := p.TierCounters()
+	if escalAfter == escal {
+		t.Fatal("volatile phase recorded no escalations")
+	}
+}
+
+// TestTierDisabledIsBitIdentical pins the TierEnabled=false default as
+// exactly the single-tier pipeline: identical predictions and no counter
+// movement.
+func TestTierDisabledIsBitIdentical(t *testing.T) {
+	mk := func(enabled bool) *CorpPredictor {
+		cfg := CorpConfig{Seed: 9}
+		cfg.TierEnabled = enabled
+		brain, err := NewCorpBrain(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return NewCorpPredictor(brain, resource.Vector{8, 16, 100}, 3)
+	}
+	off, plain := mk(false), mk(false)
+	for i := 0; i < 100; i++ {
+		v := fluctVector(i)
+		off.Observe(v)
+		plain.Observe(v)
+		a, b := off.Predict(), plain.Predict()
+		if a != b {
+			t.Fatalf("slot %d: tier-off predictions diverge: %+v vs %+v", i, a, b)
+		}
+	}
+	if h, e := off.TierCounters(); h != 0 || e != 0 {
+		t.Fatalf("tier off: counters %d/%d, want 0/0", h, e)
+	}
+}

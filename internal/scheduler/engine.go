@@ -1,6 +1,7 @@
 package scheduler
 
 import (
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -92,6 +93,151 @@ func (b *base) initEngine(workers int) {
 		}
 	}
 	b.anySharded = anySharded
+}
+
+// initEngine (corpScheduler override) wires the base engine, then caches
+// the concrete *CorpPredictor views the batched Refresh needs. A fleet
+// with any non-CORP predictor (impossible today, defensive for future
+// mixed fleets) falls back to the per-VM path, as do the oracle variant
+// (nil brain) and DisableBatchedRefresh.
+func (s *corpScheduler) initEngine(workers int) {
+	s.base.initEngine(workers)
+	if !s.batched || s.brain == nil {
+		return
+	}
+	cp := make([]*predict.CorpPredictor, len(s.preds))
+	for i, p := range s.preds {
+		c, ok := p.(*predict.CorpPredictor)
+		if !ok {
+			return
+		}
+		cp[i] = c
+	}
+	s.corpPreds = cp
+}
+
+// refreshBatchRows is the batched Refresh chunk size: how many dirty VMs'
+// input rows are gathered into one ForwardBatchKind call. Large enough to
+// amortize the per-call weight-slab streaming across many rows, small
+// enough that the staging chunk (rows × Δ floats) stays L1/L2-resident
+// next to the weights.
+const refreshBatchRows = 256
+
+// Refresh (corpScheduler override) runs the batched prediction pipeline:
+//
+//  1. collect the dirty VM indices (serial, cheap);
+//  2. PredictPrepare every dirty VM in parallel, each writing its
+//     normalized per-kind DNN input rows into a contiguous per-kind
+//     staging slab at its own position;
+//  3. per resource kind (kinds in parallel, each kind serial): compact
+//     the rows that actually need a forward — tier-served and cold kinds
+//     drop out here, so first-tier hits save real work — into a chunk
+//     buffer and run one ForwardBatchKind per chunk, scattering outputs
+//     back by recorded position;
+//  4. PredictFinish every dirty VM in parallel (HMM correction, CI
+//     adjustment, Eq. 21 gate) into b.latest positionally.
+//
+// Every write in phases 2–4 lands at an index owned by one VM (or, in
+// phase 3, one (VM, kind) slot), and each VM's own pipeline runs in the
+// same order as a per-VM Predict, so results are bit-identical to the
+// per-VM path at any worker count. Outputs are pre-filled with NaN so a
+// failed batch forward degrades to PredictFinish's historical-mean
+// fallback — the same fallback the per-VM path uses on a forward error.
+// All staging buffers are reused across calls; steady-state refreshes
+// perform no heap allocations.
+func (s *corpScheduler) Refresh() {
+	if s.corpPreds == nil {
+		s.base.Refresh()
+		return
+	}
+	idx := s.refreshIdx[:0]
+	for i := range s.preds {
+		if s.dirty != nil {
+			if !s.dirty[i] {
+				continue
+			}
+			s.dirty[i] = false
+		}
+		idx = append(idx, i)
+	}
+	s.refreshIdx = idx
+	d := len(idx)
+	if d == 0 {
+		return
+	}
+	delta := s.brain.InputSlots()
+	if cap(s.refreshNeed) < d {
+		s.refreshNeed = make([][resource.NumKinds]bool, d)
+		s.refreshOut = make([][resource.NumKinds]float64, d)
+		s.refreshRows = make([][resource.NumKinds][]float64, d)
+	}
+	need := s.refreshNeed[:d]
+	outs := s.refreshOut[:d]
+	rows := s.refreshRows[:d]
+	for k := range s.stageRows {
+		if cap(s.stageRows[k]) < d*delta {
+			s.stageRows[k] = make([]float64, d*delta)
+		}
+		s.stageRows[k] = s.stageRows[k][:d*delta]
+	}
+	nan := math.NaN()
+	parallelFor(s.workers, d, func(pos int) {
+		// rows[pos] is reused scratch owned by this position; a
+		// function-local array would escape through PredictPrepare and
+		// cost one heap allocation per dirty VM per refresh.
+		r := &rows[pos]
+		for k := range r {
+			r[k] = s.stageRows[k][pos*delta : (pos+1)*delta]
+		}
+		need[pos] = s.corpPreds[idx[pos]].PredictPrepare(r)
+		outs[pos] = [resource.NumKinds]float64{nan, nan, nan}
+	})
+	parallelFor(s.workers, resource.NumKinds, func(k int) {
+		s.forwardKindBatched(resource.Kind(k), delta, need, outs)
+	})
+	parallelFor(s.workers, d, func(pos int) {
+		s.latest[idx[pos]] = s.corpPreds[idx[pos]].PredictFinish(&outs[pos])
+	})
+}
+
+// forwardKindBatched is phase 3 of the batched Refresh for one kind:
+// compact the staged rows that need a forward into the kind's chunk
+// buffer, run one batched forward per full chunk, and scatter each output
+// back to its position's slot. Touches only kind-k brain state and
+// kind-k/per-position slots, so distinct kinds run concurrently.
+func (s *corpScheduler) forwardKindBatched(k resource.Kind, delta int, need [][resource.NumKinds]bool, outs [][resource.NumKinds]float64) {
+	if cap(s.gatherIn[k]) < refreshBatchRows*delta {
+		s.gatherIn[k] = make([]float64, refreshBatchRows*delta)
+		s.gatherPos[k] = make([]int, refreshBatchRows)
+	}
+	in := s.gatherIn[k][:refreshBatchRows*delta]
+	pos := s.gatherPos[k][:refreshBatchRows]
+	stage := s.stageRows[k]
+	count := 0
+	flush := func() {
+		if count == 0 {
+			return
+		}
+		out, err := s.brain.ForwardBatchKind(k, in[:count*delta])
+		if err == nil {
+			for r := 0; r < count; r++ {
+				outs[pos[r]][k] = out[r]
+			}
+		}
+		count = 0
+	}
+	for p := range need {
+		if !need[p][k] {
+			continue
+		}
+		copy(in[count*delta:(count+1)*delta], stage[p*delta:(p+1)*delta])
+		pos[count] = p
+		count++
+		if count == refreshBatchRows {
+			flush()
+		}
+	}
+	flush()
 }
 
 // ObserveAll implements BatchObserver. The work splits into two phases:

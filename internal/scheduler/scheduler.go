@@ -120,6 +120,13 @@ type Config struct {
 	// Values <= 1 run serially. Results are bit-identical at any worker
 	// count; Workers affects wall time only.
 	Workers int
+
+	// DisableBatchedRefresh forces CORP's Refresh back onto the per-VM
+	// forward path instead of the batched gather → one ForwardBatch per
+	// kind → scatter pipeline (engine.go). Results are bit-identical
+	// either way (the equivalence suite pins this); the knob exists for
+	// the baseline benches and the equivalence tests themselves.
+	DisableBatchedRefresh bool
 }
 
 // VMView is the simulator's per-VM state snapshot handed to Place: what
@@ -227,6 +234,7 @@ func build(cfg Config, cl *cluster.Cluster) (Scheduler, error) {
 		return &corpScheduler{
 			base: base, name: "CORP", packing: !cfg.DisablePacking,
 			margin: margin, strategy: strategy, packK: packK, brain: brain,
+			batched: !cfg.DisableBatchedRefresh,
 		}, nil
 	case RCCR:
 		for i, cap := range caps {
@@ -461,6 +469,21 @@ type corpScheduler struct {
 	// reuses this scheduler without learned predictions).
 	brain *predict.CorpBrain
 
+	// Batched-refresh state (engine.go): batched is the config knob,
+	// corpPreds the concrete per-VM predictors cached by initEngine (nil
+	// when batching is off or unavailable, which routes Refresh through
+	// the per-VM base path). The remaining slices are the reused staging
+	// buffers of the gather → batched forward → scatter pipeline.
+	batched     bool
+	corpPreds   []*predict.CorpPredictor
+	refreshIdx  []int
+	refreshNeed [][resource.NumKinds]bool
+	refreshOut  [][resource.NumKinds]float64
+	refreshRows [][resource.NumKinds][]float64
+	stageRows   [resource.NumKinds][]float64
+	gatherIn    [resource.NumKinds][]float64
+	gatherPos   [resource.NumKinds][]int
+
 	// Reused candidate buffers: the eligible-VM sets are fixed for the
 	// duration of one Place call (Down/Unlocked only change between
 	// slots), so they are built once per call and only the chosen VM's
@@ -480,6 +503,21 @@ func (s *corpScheduler) TrainErrors() int {
 		return 0
 	}
 	return s.brain.TrainErrors()
+}
+
+// TierCounters sums the per-VM two-tier forecaster counters: how many
+// per-kind estimates the cheap first tier served and how many escalated
+// to the full DNN path. Both stay zero with the tier disabled (and for
+// the oracle variant). The simulator surfaces them through Result.
+func (s *corpScheduler) TierCounters() (hits, escalations int) {
+	for _, p := range s.preds {
+		if tc, ok := p.(interface{ TierCounters() (int, int) }); ok {
+			h, e := tc.TierCounters()
+			hits += h
+			escalations += e
+		}
+	}
+	return hits, escalations
 }
 
 // AdjustAlloc implements Adjuster: the corrected amount tracks the job's

@@ -263,6 +263,13 @@ type Result struct {
 	// Zero for schemes without an online DNN.
 	DNNTrainErrors int
 
+	// TierHits and TierEscalations count per-kind forecasts the CORP
+	// two-tier predictor served from the cheap first tier versus ones
+	// that escalated to the full DNN+HMM path. Both zero unless the
+	// scheduler ran with the tier enabled (-forecast-tier=auto).
+	TierHits        int
+	TierEscalations int
+
 	// Timeline holds per-slot snapshots when Config.RecordTimeline is
 	// set (nil otherwise).
 	Timeline []TimelinePoint
