@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check check-perf fmt vet build test race bench bench-figs bench-diff
+.PHONY: check check-perf farm-smoke fmt vet build test race bench bench-figs bench-diff
 
-check: fmt vet build test race
+check: fmt vet build test race farm-smoke
 	@$(MAKE) --no-print-directory check-perf PERF_FATAL=0
 
 # gofmt -l prints unformatted files; fail loudly if there are any.
@@ -24,15 +24,27 @@ test:
 
 # The race subset covers the packages with real concurrency: the parallel
 # sweep runner, the shared workload-snapshot cache, the DNN's shared
-# training state, and the scheduler's batched-refresh engine (the
+# training state, the scheduler's batched-refresh engine (the
 # multi-worker equivalence tests drive the gather/forward/scatter phases
-# across goroutines). -short skips the heavyweight single-threaded
-# determinism tests (they add minutes under the race detector and no
-# concurrency coverage). internal/sim alone runs ~10 minutes on a
-# one-core box, right at go test's default -timeout; raise it so a loaded
-# machine cannot flake the gate.
+# across goroutines), and the farm dispatcher/worker pair (leases,
+# heartbeats, and result submission race by design). -short skips the
+# heavyweight single-threaded determinism tests (they add minutes under
+# the race detector and no concurrency coverage). internal/sim alone runs
+# ~10 minutes on a one-core box, right at go test's default -timeout;
+# raise it so a loaded machine cannot flake the gate.
 race:
-	$(GO) test -race -short -timeout 30m ./internal/sim ./internal/workload ./internal/dnn ./internal/scheduler
+	$(GO) test -race -short -timeout 30m ./internal/sim ./internal/workload ./internal/dnn ./internal/scheduler ./internal/farm
+
+# farm-smoke builds the corpfarm/corpfarmd pair and runs a localhost
+# mini-campaign (one figure plus the faulted extension figure) through two
+# spawned corpfarmd worker processes — the cheapest end-to-end proof that
+# the HTTP work-pull protocol, process spawning, and positional result
+# assembly work outside the test harness.
+farm-smoke:
+	@mkdir -p bin
+	$(GO) build -o bin/corpfarm ./cmd/corpfarm
+	$(GO) build -o bin/corpfarmd ./cmd/corpfarmd
+	./bin/corpfarm -addr 127.0.0.1:0 -quick -local 0 -spawn 2 -figs fig06,ext-faults
 
 # bench runs the hot-path benchmark suite at a fixed benchtime (stable
 # enough for snapshot comparison) and writes the BENCH_<date>.json perf

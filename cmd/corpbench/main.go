@@ -19,6 +19,7 @@
 //	-forecast-tier  off | auto: CORP two-tier predictor for figure runs
 //	            (default off; off is bit-identical to the single-tier
 //	            pipeline — see the batch-equivalence test)
+//	-progress   print per-batch sweep progress to stderr
 //	-list       print the available figure ids and exit
 //	-md         render the output as a Markdown report
 //	-json       run the perf benchmark suite and write a JSON snapshot
@@ -70,6 +71,7 @@ func run(args []string, out io.Writer) error {
 	coreName := fs.String("core", "event", "simulator core: event or slot (bit-identical figures)")
 	wlCache := fs.String("workload-cache", "on", "share generated workload snapshots across runs: on or off")
 	forecastTier := fs.String("forecast-tier", "off", "CORP two-tier predictor for figure runs: off or auto")
+	progress := fs.Bool("progress", false, "print per-batch sweep progress to stderr")
 	list := fs.Bool("list", false, "print the available figure ids and exit")
 	md := fs.Bool("md", false, "render the output as a Markdown report")
 	benchJSON := fs.Bool("json", false, "run the perf benchmark suite and write a JSON snapshot")
@@ -140,6 +142,11 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("forecast-tier: want off or auto, got %q", *forecastTier)
 	}
 	opts := corp.Options{Seed: *seed, Quick: *quick, Workers: *workers, Core: core, ForecastTier: *forecastTier}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "corpbench: batch %d/%d runs done\n", done, total)
+		}
+	}
 	ids := []string{*fig}
 	if *fig == "all" {
 		ids = corp.FigureIDs()

@@ -49,8 +49,8 @@ func Ablations() []Ablation {
 	return []Ablation{AblationFull, AblationNoHMM, AblationNoPacking, AblationNoCI, AblationETSPredictor}
 }
 
-// RunAblation executes one CORP variant and returns its result.
-func RunAblation(o Options, a Ablation, jobs int) (*sim.Result, error) {
+// ablationConfig builds the simulation config for one CORP variant.
+func ablationConfig(o Options, a Ablation, jobs int) sim.Config {
 	var cfg sim.Config
 	switch a {
 	case AblationETSPredictor:
@@ -72,7 +72,12 @@ func RunAblation(o Options, a Ablation, jobs int) (*sim.Result, error) {
 			cfg.Scheduler.Corp.DisableCI = true
 		}
 	}
-	r, err := sim.Run(cfg)
+	return cfg
+}
+
+// RunAblation executes one CORP variant and returns its result.
+func RunAblation(o Options, a Ablation, jobs int) (*sim.Result, error) {
+	r, err := sim.Run(ablationConfig(o, a, jobs))
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ablation %v: %w", a, err)
 	}
@@ -92,11 +97,16 @@ func AblationStudy(o Options) (*Figure, error) {
 		XLabel: "metric index (0=overall util, 1=SLO rate, 2=pred error rate)",
 		YLabel: "value",
 	}
-	for _, a := range Ablations() {
-		r, err := RunAblation(o, a, jobs)
-		if err != nil {
-			return nil, err
-		}
+	cfgs := make([]sim.Config, len(Ablations()))
+	for i, a := range Ablations() {
+		cfgs[i] = ablationConfig(o, a, jobs)
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: ablations: %w", err)
+	}
+	for i, a := range Ablations() {
+		r := results[i]
 		s := &metrics.Series{Label: a.String()}
 		s.Append(0, r.Overall)
 		s.Append(1, r.SLORate)

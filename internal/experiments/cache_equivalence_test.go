@@ -54,17 +54,7 @@ func TestWorkloadCacheEquivalence(t *testing.T) {
 
 // runFigureSet runs every figure for the profile plus the faulted extension
 // figure, in a fixed order.
-func runFigureSet(o Options) ([]*Figure, error) {
-	figs, err := AllFigures(o)
-	if err != nil {
-		return nil, err
-	}
-	faulted, err := ExtensionFaultTolerance(o)
-	if err != nil {
-		return nil, err
-	}
-	return append(figs, faulted), nil
-}
+func runFigureSet(o Options) ([]*Figure, error) { return FigureSet(o) }
 
 // wallClockFigures measure real scheduler decision wall time (the paper's
 // overhead Figs. 10/14), so their Y values differ between any two runs of

@@ -53,6 +53,27 @@ type Options struct {
 	// DisableBatchedRefresh forces the per-VM refresh path (ablation /
 	// equivalence testing; the batched path is pinned bit-identical).
 	DisableBatchedRefresh bool
+	// RunBatch, when non-nil, executes a batch of independent simulation
+	// configs and returns results positionally (results[i] for cfgs[i],
+	// nil on failure, errors joined) — the sim.RunMany contract. The farm
+	// dispatcher injects its distributed executor here; nil runs batches
+	// in-process via sim.RunManyProgress. Because every runner routes all
+	// simulations through this one seam and per-config runs are
+	// deterministic, any conforming executor yields bit-identical figures.
+	RunBatch func(cfgs []sim.Config) ([]*sim.Result, error)
+	// Progress, when non-nil (and RunBatch is nil), observes per-run
+	// completion of each in-process batch — the sim.RunManyProgress hook.
+	// Front-ends use it for sweep progress/ETA reporting.
+	Progress sim.ProgressFunc
+}
+
+// runBatch executes one batch of simulation configs through the configured
+// executor (RunBatch) or in-process.
+func (o Options) runBatch(cfgs []sim.Config) ([]*sim.Result, error) {
+	if o.RunBatch != nil {
+		return o.RunBatch(cfgs)
+	}
+	return sim.RunManyProgress(cfgs, 0, o.Progress)
 }
 
 // jobCounts returns the Fig. 6/7/11 x-axis: 50–300 jobs step 50 (paper),
@@ -242,13 +263,45 @@ func runAll(o Options, jobs int, mutate func(*sim.Config)) (map[scheduler.Scheme
 		}
 		cfgs[i] = cfg
 	}
-	results, err := sim.RunMany(cfgs, 0)
+	results, err := o.runBatch(cfgs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %d jobs: %w", jobs, err)
 	}
 	out := make(map[scheduler.Scheme]*sim.Result, len(schemeOrder))
 	for i, sc := range schemeOrder {
 		out[sc] = results[i]
+	}
+	return out, nil
+}
+
+// FigureSet runs every figure for the options' profile plus the
+// fault-tolerance extension, in a fixed order — the per-profile campaign
+// unit shared by the cache-, core-, and farm-equivalence suites.
+func FigureSet(o Options) ([]*Figure, error) {
+	figs, err := AllFigures(o)
+	if err != nil {
+		return nil, err
+	}
+	faulted, err := ExtensionFaultTolerance(o)
+	if err != nil {
+		return nil, err
+	}
+	return append(figs, faulted), nil
+}
+
+// Campaign runs the full two-profile figure campaign: the cluster-profile
+// figure set followed by the EC2 one. This is the workload the corpfarm
+// dispatcher distributes; with a conforming Options.RunBatch executor its
+// output is bit-identical to the in-process run.
+func Campaign(o Options) ([]*Figure, error) {
+	var out []*Figure
+	for _, p := range []cluster.Profile{cluster.ProfileCluster, cluster.ProfileEC2} {
+		o.Profile = p
+		figs, err := FigureSet(o)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: campaign %s: %w", p, err)
+		}
+		out = append(out, figs...)
 	}
 	return out, nil
 }

@@ -26,19 +26,29 @@ func ExtensionPlacementStrategies(o Options) (*Figure, error) {
 	if o.Quick {
 		jobs = 150
 	}
-	for _, name := range []string{"most-matched", "first-fit", "worst-fit", "random"} {
-		var util, slo, opp float64
+	// One batch covers the whole strategy × seed grid; results come back
+	// positionally, so the per-strategy seed-order float accumulation is
+	// unchanged from the old one-run-at-a-time loop.
+	strategies := []string{"most-matched", "first-fit", "worst-fit", "random"}
+	var cfgs []sim.Config
+	for _, name := range strategies {
 		for _, seed := range o.seeds() {
 			cfg := o.hotConfig(scheduler.CORP, jobs)
 			cfg.Heterogeneous = true
 			cfg.Seed = seed
 			cfg.Scheduler.Seed = seed
 			cfg.Scheduler.CorpPlacement = name
-			r, err := sim.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: strategy %s: %w", name, err)
-			}
-			n := float64(len(o.seeds()))
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: strategies: %w", err)
+	}
+	n := float64(len(o.seeds()))
+	for si, name := range strategies {
+		var util, slo, opp float64
+		for _, r := range results[si*len(o.seeds()) : (si+1)*len(o.seeds())] {
 			util += r.Overall / n
 			slo += r.SLORate / n
 			opp += float64(r.PlacedOpportunistic) / n
@@ -65,8 +75,9 @@ func ExtensionPackK(o Options) (*Figure, error) {
 	if o.Quick {
 		jobs = 150
 	}
-	for _, k := range []int{1, 2, 3} {
-		var util, slo, opp float64
+	ks := []int{1, 2, 3}
+	var cfgs []sim.Config
+	for _, k := range ks {
 		for _, seed := range o.seeds() {
 			cfg := o.hotConfig(scheduler.CORP, jobs)
 			cfg.Seed = seed
@@ -75,11 +86,17 @@ func ExtensionPackK(o Options) (*Figure, error) {
 			if k == 1 {
 				cfg.Scheduler.DisablePacking = true
 			}
-			r, err := sim.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: packK %d: %w", k, err)
-			}
-			n := float64(len(o.seeds()))
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: packK: %w", err)
+	}
+	n := float64(len(o.seeds()))
+	for ki, k := range ks {
+		var util, slo, opp float64
+		for _, r := range results[ki*len(o.seeds()) : (ki+1)*len(o.seeds())] {
 			util += r.Overall / n
 			slo += r.SLORate / n
 			opp += float64(r.PlacedOpportunistic) / n
@@ -115,13 +132,17 @@ func ExtensionMixedWorkload(o Options) (*Figure, error) {
 	if o.Quick {
 		counts = []int{0, 20}
 	}
-	for _, long := range counts {
-		cfg := o.baseConfig(scheduler.CORP, jobs)
-		cfg.LongJobs = long
-		r, err := sim.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: mixed %d: %w", long, err)
-		}
+	cfgs := make([]sim.Config, len(counts))
+	for i, long := range counts {
+		cfgs[i] = o.baseConfig(scheduler.CORP, jobs)
+		cfgs[i].LongJobs = long
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mixed: %w", err)
+	}
+	for i, long := range counts {
+		r := results[i]
 		x := float64(long)
 		util.Append(x, r.Overall)
 		cluster.Append(x, r.ClusterOverall)
@@ -152,17 +173,24 @@ func ExtensionOracleGap(o Options) (*Figure, error) {
 	if o.Quick {
 		jobs = 150
 	}
-	for _, sc := range []scheduler.Scheme{scheduler.Oracle, scheduler.CORP, scheduler.RCCR} {
-		var util, slo, errRate float64
+	schemes := []scheduler.Scheme{scheduler.Oracle, scheduler.CORP, scheduler.RCCR}
+	var cfgs []sim.Config
+	for _, sc := range schemes {
 		for _, seed := range o.seeds() {
 			cfg := o.hotConfig(sc, jobs)
 			cfg.Seed = seed
 			cfg.Scheduler.Seed = seed
-			r, err := sim.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("experiments: oracle gap %v: %w", sc, err)
-			}
-			n := float64(len(o.seeds()))
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	results, err := o.runBatch(cfgs)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: oracle gap: %w", err)
+	}
+	n := float64(len(o.seeds()))
+	for si, sc := range schemes {
+		var util, slo, errRate float64
+		for _, r := range results[si*len(o.seeds()) : (si+1)*len(o.seeds())] {
 			util += r.Overall / n
 			slo += r.SLORate / n
 			errRate += r.PredictionErrorRate / n

@@ -77,7 +77,7 @@ func ExtensionFaultTolerance(o Options) (*Figure, error) {
 				order = append(order, sc)
 			}
 		}
-		results, err := sim.RunMany(cfgs, 0)
+		results, err := o.runBatch(cfgs)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: faults rate %g: %w", rate, err)
 		}

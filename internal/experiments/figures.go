@@ -170,7 +170,7 @@ func Fig08UtilVsSLO(o Options) (*Figure, error) {
 				order = append(order, sc)
 			}
 		}
-		results, err := sim.RunMany(cfgs, 0)
+		results, err := o.runBatch(cfgs)
 		if err != nil {
 			return nil, err
 		}
@@ -250,7 +250,7 @@ func Fig09SLOVsConfidence(o Options) (*Figure, error) {
 				order = append(order, sc)
 			}
 		}
-		results, err := sim.RunMany(cfgs, 0)
+		results, err := o.runBatch(cfgs)
 		if err != nil {
 			return nil, err
 		}

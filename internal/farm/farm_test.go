@@ -1,0 +1,381 @@
+package farm
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/scheduler"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// quickCfg is a tiny runnable config for protocol-level tests (the run
+// function is stubbed; the config only needs distinct key material).
+func quickCfg(seed int64) sim.Config {
+	return sim.Config{
+		NumPMs: 4, NumVMs: 8, NumJobs: 10, Seed: seed,
+		Warmup: 5, ArrivalSpan: 5, Drain: 10,
+		Scheduler: scheduler.Config{Scheme: scheduler.RCCR, Seed: seed},
+		Workers:   1,
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	cfg := quickCfg(3)
+	cfg.Clock = &sim.VirtualClock{StepMicros: 150}
+	spec, err := EncodeSpec(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.VirtualClockStep != 150 || spec.Config.Clock != nil {
+		t.Fatalf("virtual clock not factored out: %+v", spec)
+	}
+	enc, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back RunSpec
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	got := back.DecodeConfig()
+	vc, ok := got.Clock.(*sim.VirtualClock)
+	if !ok || vc.StepMicros != 150 {
+		t.Fatalf("clock not reconstructed: %#v", got.Clock)
+	}
+	got.Clock = nil
+	cfg.Clock = nil
+	if !reflect.DeepEqual(got, cfg) {
+		t.Fatalf("config did not round-trip:\n got %+v\nwant %+v", got, cfg)
+	}
+}
+
+func TestSpecRejectsNonSerializable(t *testing.T) {
+	cfg := quickCfg(1)
+	cfg.Clock = fakeClock{}
+	if _, err := EncodeSpec(cfg); err == nil {
+		t.Error("foreign clock must be rejected")
+	}
+	cfg = quickCfg(1)
+	if snap, err := sim.PrepareWorkload(cfg); err == nil {
+		cfg.Prepared = snap
+		if _, err := EncodeSpec(cfg); err == nil {
+			t.Error("prepared snapshot must be rejected")
+		}
+	}
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Now() float64 { return 0 }
+
+func TestJobKeys(t *testing.T) {
+	specA, _ := EncodeSpec(quickCfg(1))
+	specB, _ := EncodeSpec(quickCfg(1))
+	keyA, wkA, err := specA.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keyB, _, _ := specB.Keys()
+	if keyA != keyB {
+		t.Error("identical configs must share a job key")
+	}
+	// A scheduler-side flag changes the job key but not the workload key:
+	// same trace, different run.
+	cfgC := quickCfg(1)
+	cfgC.Scheduler.Scheme = scheduler.CORP
+	specC, _ := EncodeSpec(cfgC)
+	keyC, wkC, _ := specC.Keys()
+	if keyC == keyA {
+		t.Error("different scheme must change the job key")
+	}
+	if wkC != wkA {
+		t.Error("scheme must not change the workload key")
+	}
+	// A different seed changes both.
+	specD, _ := EncodeSpec(quickCfg(2))
+	keyD, wkD, _ := specD.Keys()
+	if keyD == keyA || wkD == wkA {
+		t.Error("different seed must change job and workload keys")
+	}
+}
+
+// TestResultJSONBitExact: the wire transport must not perturb a single
+// bit of any float in sim.Result — the foundation of the farm's
+// bit-identical merged figures. Go's encoding/json formats float64 with
+// the shortest representation that round-trips exactly.
+func TestResultJSONBitExact(t *testing.T) {
+	cfg := quickCfg(11)
+	cfg.Clock = &sim.VirtualClock{StepMicros: 150}
+	want, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got sim.Result
+	if err := json.Unmarshal(enc, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Fatalf("result did not round-trip bit-exact:\n got %+v\nwant %+v", &got, want)
+	}
+}
+
+// echoRun fabricates a deterministic result from the config without
+// simulating — protocol tests only care about routing.
+func echoRun(cfg sim.Config) (*sim.Result, error) {
+	return &sim.Result{NumJobs: int(cfg.Seed), Scheme: cfg.Scheduler.Scheme.String()}, nil
+}
+
+// startWorkers runs n in-process workers against the dispatcher and
+// returns a stop function that waits for their clean shutdown.
+func startWorkers(t *testing.T, d *Dispatcher, n int, run func(sim.Config) (*sim.Result, error)) (stop func()) {
+	t.Helper()
+	srv := httptest.NewServer(d.Handler())
+	done := make(chan error, n)
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < n; i++ {
+		w := &Worker{
+			BaseURL: srv.URL, ID: fmt.Sprintf("w%d", i),
+			Poll: 5 * time.Millisecond, Heartbeat: 20 * time.Millisecond,
+			Run: run, Client: srv.Client(),
+		}
+		go func() { done <- w.Serve(ctx) }()
+	}
+	return func() {
+		d.Shutdown()
+		for i := 0; i < n; i++ {
+			if err := <-done; err != nil {
+				t.Errorf("worker exit: %v", err)
+			}
+		}
+		cancel()
+		srv.Close()
+	}
+}
+
+func TestFarmPositionalAssemblyAndDedup(t *testing.T) {
+	d := NewDispatcher(Config{})
+	defer startWorkers(t, d, 3, echoRun)()
+
+	// Sixteen positions over four distinct configs: dedup must collapse
+	// them to four jobs while keeping positional results.
+	var cfgs []sim.Config
+	for i := 0; i < 16; i++ {
+		cfgs = append(cfgs, quickCfg(int64(i%4)))
+	}
+	results, err := d.RunBatch(cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r == nil || r.NumJobs != i%4 {
+			t.Fatalf("result %d misplaced: %+v", i, r)
+		}
+	}
+	c := d.Counters()
+	if c.Jobs != 4 || c.DedupHits != 12 || c.Submitted != 16 {
+		t.Errorf("dedup accounting wrong: %+v", c)
+	}
+	if c.Completed != 4 {
+		t.Errorf("deduped job ran more than once: %+v", c)
+	}
+	// The four configs differ only in seed, so each has its own workload.
+	if c.DistinctWorkloads != 4 {
+		t.Errorf("DistinctWorkloads = %d, want 4", c.DistinctWorkloads)
+	}
+
+	// A second batch reuses finished jobs without re-running them.
+	results2, err := d.RunBatch(cfgs[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results2 {
+		if r != results[i] {
+			t.Errorf("batch 2 result %d not shared with batch 1", i)
+		}
+	}
+	if c2 := d.Counters(); c2.Completed != 4 || c2.DedupHits != 16 {
+		t.Errorf("cross-batch dedup wrong: %+v", c2)
+	}
+}
+
+func TestFarmRetriesFailuresThenGivesUp(t *testing.T) {
+	var calls atomic.Int64
+	flaky := func(cfg sim.Config) (*sim.Result, error) {
+		if cfg.Seed == 1 && calls.Add(1) < 3 {
+			return nil, errors.New("transient")
+		}
+		if cfg.Seed == 2 {
+			panic("always broken")
+		}
+		return echoRun(cfg)
+	}
+	d := NewDispatcher(Config{MaxAttempts: 3})
+	defer startWorkers(t, d, 2, flaky)()
+
+	results, err := d.RunBatch([]sim.Config{quickCfg(0), quickCfg(1), quickCfg(2)})
+	if err == nil {
+		t.Fatal("permanently failing job must surface an error")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") || !strings.Contains(err.Error(), "always broken") {
+		t.Errorf("error does not describe the failure: %v", err)
+	}
+	if results[0] == nil || results[1] == nil {
+		t.Error("healthy and flaky-then-ok runs must still complete")
+	}
+	if results[2] != nil {
+		t.Error("failed job must leave a nil slot")
+	}
+	c := d.Counters()
+	if c.Failed != 1 || c.Completed != 2 {
+		t.Errorf("completion accounting wrong: %+v", c)
+	}
+	// Seed 1 failed twice before succeeding; seed 2 was requeued twice
+	// before its third attempt failed it permanently.
+	if c.Retries != 4 {
+		t.Errorf("Retries = %d, want 4", c.Retries)
+	}
+}
+
+func TestFarmLeaseExpiryRequeues(t *testing.T) {
+	d := NewDispatcher(Config{Lease: time.Minute, MaxAttempts: 3})
+	now := time.Unix(1000, 0)
+	d.now = func() time.Time { return now }
+
+	b, err := d.Submit([]sim.Config{quickCfg(7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, ok, _ := d.Pull("dead-worker")
+	if !ok {
+		t.Fatal("expected a lease")
+	}
+	// The worker vanishes. Within the lease the job stays leased…
+	if _, ok, _ := d.Pull("live-worker"); ok {
+		t.Fatal("job double-leased inside the lease window")
+	}
+	// …after the deadline the next pull reaps and re-leases it.
+	now = now.Add(2 * time.Minute)
+	job2, ok, _ := d.Pull("live-worker")
+	if !ok || job2.ID != job.ID {
+		t.Fatalf("expired job not re-leased: ok=%v job=%+v", ok, job2)
+	}
+	if c := d.Counters(); c.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", c.Retries)
+	}
+	// Heartbeats extend leases: a beat 30s into the lease pushes the
+	// deadline out, so a poll past the original deadline (but inside the
+	// extended one) finds nothing to reap.
+	now = now.Add(30 * time.Second)
+	d.Heartbeat(HeartbeatRequest{Worker: "live-worker", IDs: []int64{job2.ID}, Cache: workload.Stats{}})
+	now = now.Add(50 * time.Second)
+	if _, ok, _ := d.Pull("third-worker"); ok {
+		t.Fatal("heartbeat did not extend the lease")
+	}
+	// The late result from the dead worker is accepted (first valid
+	// completion wins; either attempt's result is bit-identical).
+	res, _ := echoRun(quickCfg(7))
+	if err := d.SubmitResult("dead-worker", job.ID, job.Key, res, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	results, err := b.Wait(nil)
+	if err != nil || results[0] == nil {
+		t.Fatalf("batch did not complete: %v %v", results, err)
+	}
+	// The live worker's duplicate submission is ignored without error.
+	if err := d.SubmitResult("live-worker", job2.ID, job2.Key, res, "", 1); err != nil {
+		t.Fatal(err)
+	}
+	if c := d.Counters(); c.Completed != 1 {
+		t.Errorf("Completed = %d, want 1", c.Completed)
+	}
+}
+
+func TestFarmAbandonedJobFailsAfterMaxAttempts(t *testing.T) {
+	d := NewDispatcher(Config{Lease: time.Minute, MaxAttempts: 2})
+	now := time.Unix(0, 0)
+	d.now = func() time.Time { return now }
+	b, err := d.Submit([]sim.Config{quickCfg(9)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, ok, _ := d.Pull("w"); !ok {
+			t.Fatalf("pull %d: no lease", i)
+		}
+		now = now.Add(5 * time.Minute)
+	}
+	// Attempts exhausted: the next pull reaps it into permanent failure.
+	if _, ok, _ := d.Pull("w"); ok {
+		t.Fatal("job leased beyond MaxAttempts")
+	}
+	results, err := b.Wait(nil)
+	if err == nil || !strings.Contains(err.Error(), "abandoned after 2 attempts") {
+		t.Fatalf("want abandonment error, got %v", err)
+	}
+	if results[0] != nil {
+		t.Error("abandoned job must leave a nil slot")
+	}
+}
+
+func TestFarmProgressAndStatus(t *testing.T) {
+	var last atomic.Int64
+	d := NewDispatcher(Config{Progress: func(done, total int) {
+		if total != 3 {
+			t.Errorf("progress total = %d, want 3", total)
+		}
+		last.Store(int64(done))
+	}})
+	defer startWorkers(t, d, 2, echoRun)()
+	if _, err := d.RunBatch([]sim.Config{quickCfg(0), quickCfg(1), quickCfg(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if last.Load() != 3 {
+		t.Errorf("progress ended at %d, want 3", last.Load())
+	}
+	st := d.Status()
+	if st.Pending != 0 || st.Leased != 0 {
+		t.Errorf("drained queue reports depth: %+v", st)
+	}
+	if st.MeanRunMS <= 0 {
+		t.Errorf("mean run duration not tracked: %+v", st)
+	}
+	if len(st.Workers) == 0 {
+		t.Errorf("no workers tracked: %+v", st)
+	}
+}
+
+// TestFarmOverHTTPRunsRealSim drives one real simulation through the full
+// HTTP stack and compares it against an in-process run of the same config
+// — the protocol must be invisible.
+func TestFarmOverHTTPRunsRealSim(t *testing.T) {
+	cfg := quickCfg(5)
+	// Inject the virtual clock so the overhead metric — the one
+	// wall-clock-derived field — is deterministic and comparable.
+	cfg.Clock = &sim.VirtualClock{StepMicros: 150}
+	want, err := sim.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDispatcher(Config{})
+	defer startWorkers(t, d, 1, nil)()
+	results, err := d.RunBatch([]sim.Config{cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(results[0], want) {
+		t.Fatalf("farm run differs from in-process run:\n got %+v\nwant %+v", results[0], want)
+	}
+}

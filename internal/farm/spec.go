@@ -1,0 +1,115 @@
+// Package farm distributes a figure campaign across worker processes.
+//
+// The dispatcher turns batches of independent sim.Configs into a queue of
+// content-addressed jobs served over an HTTP/JSON work-pull protocol;
+// worker daemons (cmd/corpfarmd, or in-process farm.Worker loops) pull
+// jobs, run them through sim.Run, and submit typed results. Three
+// properties make the distribution invisible to the experiment layer:
+//
+//   - Determinism: every sim run is bit-for-bit reproducible from its
+//     config, and Go's encoding/json round-trips finite float64 values
+//     exactly (shortest-round-trip formatting), so a result computed on
+//     any worker is byte-identical to an in-process run.
+//   - Positional assembly: a batch remembers which job backs each config
+//     index and reassembles results in submission order, so merged
+//     figures do not depend on worker count, scheduling, or timing.
+//   - Content-addressed dedup: a job's identity is the hash of its
+//     workload content address (workload.Params.Key via sim.WorkloadKey)
+//     plus the canonical config encoding, so identical work units across
+//     a campaign — e.g. Fig. 6 and Fig. 7 sweep the same configs — are
+//     enqueued, executed, and paid for once.
+//
+// Failed or abandoned runs are retried under a lease + deadline regime
+// with RunMany's panic-containment semantics: a job that keeps failing
+// surfaces as an error on its own result slot with the sweep's remaining
+// runs unharmed.
+package farm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RunSpec is the wire form of one simulation run. It is a sim.Config with
+// the two non-serializable fields factored out: Clock (an interface;
+// represented by the virtual-clock step, the only clock a distributed run
+// may use) and Prepared (a process-local snapshot pointer; workers rebuild
+// snapshots from their own content-addressed cache instead).
+type RunSpec struct {
+	Config sim.Config `json:"config"`
+	// VirtualClockStep carries Config.Clock when it is a *sim.VirtualClock
+	// (the deterministic clock the ext-faults figure injects); zero means
+	// no injected clock.
+	VirtualClockStep float64 `json:"virtual_clock_step,omitempty"`
+}
+
+// EncodeSpec converts a config into its wire form. Configs that cannot be
+// executed remotely are rejected: explicit job lists and pre-built
+// snapshots are process-local, and any clock other than the virtual one
+// would make the run's overhead metric depend on which worker ran it.
+func EncodeSpec(cfg sim.Config) (RunSpec, error) {
+	if cfg.ExplicitJobs != nil {
+		return RunSpec{}, fmt.Errorf("farm: config with ExplicitJobs cannot be distributed")
+	}
+	if cfg.Prepared != nil {
+		return RunSpec{}, fmt.Errorf("farm: config with a Prepared snapshot cannot be distributed")
+	}
+	spec := RunSpec{Config: cfg}
+	switch c := cfg.Clock.(type) {
+	case nil:
+	case *sim.VirtualClock:
+		spec.VirtualClockStep = c.StepMicros
+		spec.Config.Clock = nil
+	default:
+		return RunSpec{}, fmt.Errorf("farm: clock %T cannot be distributed (only *sim.VirtualClock)", cfg.Clock)
+	}
+	return spec, nil
+}
+
+// DecodeConfig reconstructs the runnable config on the worker side. Each
+// call returns a fresh virtual clock: clocks are stateful and must never
+// be shared between runs.
+func (s RunSpec) DecodeConfig() sim.Config {
+	cfg := s.Config
+	if s.VirtualClockStep != 0 {
+		cfg.Clock = &sim.VirtualClock{StepMicros: s.VirtualClockStep}
+	}
+	return cfg
+}
+
+// Keys returns the job's content address and the workload content address
+// it folds in. The job key is a SHA-256 over a version tag, the workload
+// key (workload.Params.Key — the PR-5 snapshot-cache address, which pins
+// every generated trace byte), and the canonical JSON encoding of the
+// spec, so two configs collide exactly when they would run bit-identical
+// simulations of the same workload. The workload key is also returned
+// separately: the dispatcher counts distinct workloads to report how much
+// snapshot generation the worker-side cache dedups.
+func (s RunSpec) Keys() (jobKey, workloadKey string, err error) {
+	workloadKey, err = sim.WorkloadKey(s.Config)
+	if err != nil {
+		return "", "", fmt.Errorf("farm: workload key: %w", err)
+	}
+	enc, err := json.Marshal(s)
+	if err != nil {
+		return "", "", fmt.Errorf("farm: encode spec: %w", err)
+	}
+	h := sha256.New()
+	h.Write([]byte("corpfarm-job-v1\n"))
+	h.Write([]byte(workloadKey))
+	h.Write([]byte{'\n'})
+	h.Write(enc)
+	return hex.EncodeToString(h.Sum(nil)), workloadKey, nil
+}
+
+// Job is one unit of work on the wire: the queue-assigned ID, the content
+// address, and the run spec.
+type Job struct {
+	ID   int64   `json:"id"`
+	Key  string  `json:"key"`
+	Spec RunSpec `json:"spec"`
+}

@@ -8,18 +8,22 @@
 package perf
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"math"
+	"net/http/httptest"
 	"runtime"
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/dnn"
 	"repro/internal/experiments"
+	"repro/internal/farm"
 	"repro/internal/hmm"
 	"repro/internal/job"
 	"repro/internal/predict"
@@ -59,12 +63,25 @@ type Snapshot struct {
 	// A snapshot whose hit share collapses means the tier stopped
 	// engaging and the tier bench is timing the full DNN path.
 	Tier *TierStats `json:"tier,omitempty"`
+	// Farm records the corpfarm dispatcher's counters over the
+	// farm/campaign-quick-w2 bench (full suite only). A snapshot whose
+	// dedup hits collapse means the content-addressed job keys stopped
+	// matching and the farm re-ran identical work.
+	Farm *FarmStats `json:"farm,omitempty"`
 }
 
 // TierStats is the two-tier forecaster's hit/escalation tally.
 type TierStats struct {
 	Hits        int `json:"hits"`
 	Escalations int `json:"escalations"`
+}
+
+// FarmStats is the farm dispatcher's work-accounting tally over one
+// distributed quick campaign.
+type FarmStats struct {
+	Jobs      int64 `json:"jobs"`
+	DedupHits int64 `json:"dedup_hits"`
+	Retries   int64 `json:"retries"`
 }
 
 // nsGatePrefixes mark the benches whose ns/op regressions fail Diff: the
@@ -81,8 +98,9 @@ var nsGatePrefixes = []string{"dnn/", "hmm/", "trace/"}
 // quick-run bench regenerates its workload every op (that is its point),
 // so only the warm (snapshot-sharing) path is alloc-gated.
 // sim/*-wmax runs shard across goroutines, so their alloc counts are
-// timing-dependent too.
-var allocExemptPrefixes = []string{"figure/", "scale/", "engine/", "sim/run-quick-cold", "sim/event-core-wmax"}
+// timing-dependent too, as are the farm/* end-to-end campaigns (HTTP
+// server, worker goroutines, JSON transport).
+var allocExemptPrefixes = []string{"figure/", "scale/", "engine/", "sim/run-quick-cold", "sim/event-core-wmax", "farm/"}
 
 func hasAnyPrefix(name string, prefixes []string) bool {
 	for _, p := range prefixes {
@@ -129,7 +147,7 @@ func Suite(quick bool) (snap Snapshot) {
 		// The 20k-fleet refresh trio pays a multi-second fleet build and
 		// warmup per rep; like the end-to-end benches it runs once.
 		if strings.HasPrefix(name, "figure/") || strings.HasPrefix(name, "scale/") ||
-			strings.HasPrefix(name, "engine/refresh20k") {
+			strings.HasPrefix(name, "farm/") || strings.HasPrefix(name, "engine/refresh20k") {
 			reps = 1
 		}
 		var best testing.BenchmarkResult
@@ -539,8 +557,60 @@ func Suite(quick bool) (snap Snapshot) {
 		if tierHits+tierEscal > 0 {
 			snap.Tier = &TierStats{Hits: tierHits, Escalations: tierEscal}
 		}
+		// The full two-profile quick campaign distributed through a real
+		// corpfarm dispatcher over HTTP with 1 and 2 local workers: the
+		// farm's end-to-end overhead (job serialization, work-pull round
+		// trips, JSON result transport, positional assembly) relative to
+		// the in-process figure runs. On a multi-core host the w2/w1
+		// ratio is the farm's scaling; counters from the w2 run land in
+		// Snapshot.Farm so dedup regressions show up in the committed
+		// JSON. These run LAST: a campaign churns hundreds of MB of heap
+		// through the HTTP/JSON transport, and the GC pacing that leaves
+		// behind would perturb the µs- and ms-scale entries above.
+		add("farm/campaign-quick-w1", farmCampaignBench(1, nil))
+		add("farm/campaign-quick-w2", farmCampaignBench(2, &snap.Farm))
 	}
 	return snap
+}
+
+// farmCampaignBench distributes the full two-profile quick campaign
+// through a corpfarm dispatcher over loopback HTTP with n in-process
+// workers; stats, when non-nil, receives the last iteration's dispatcher
+// counters.
+func farmCampaignBench(n int, stats **FarmStats) func(b *testing.B) {
+	return func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			d := farm.NewDispatcher(farm.Config{})
+			srv := httptest.NewServer(d.Handler())
+			ctx, cancel := context.WithCancel(context.Background())
+			done := make(chan error, n)
+			for w := 0; w < n; w++ {
+				worker := &farm.Worker{
+					BaseURL: srv.URL, ID: fmt.Sprintf("bench-%d", w),
+					Poll: 5 * time.Millisecond, Client: srv.Client(),
+				}
+				go func() { done <- worker.Serve(ctx) }()
+			}
+			_, err := experiments.Campaign(experiments.Options{
+				Seed: 1, Quick: true, RunBatch: d.RunBatch,
+			})
+			d.Shutdown()
+			for w := 0; w < n; w++ {
+				if werr := <-done; werr != nil && err == nil {
+					err = werr
+				}
+			}
+			cancel()
+			srv.Close()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if stats != nil {
+				c := d.Counters()
+				*stats = &FarmStats{Jobs: c.Jobs, DedupHits: c.DedupHits, Retries: c.Retries}
+			}
+		}
+	}
 }
 
 // refresh20kBench builds the 20000-VM CORP fleet, warms it through enough
@@ -876,6 +946,15 @@ func Diff(old, new Snapshot, tol float64) (string, error) {
 				t.Hits, t.Escalations, 100*float64(t.Hits)/float64(total))
 		}
 		fmt.Fprintf(&sb, "two-tier forecaster: old %s, new %s\n", fmtTier(old.Tier), fmtTier(new.Tier))
+	}
+	if old.Farm != nil || new.Farm != nil {
+		fmtFarm := func(f *FarmStats) string {
+			if f == nil {
+				return "-"
+			}
+			return fmt.Sprintf("%d jobs / %d dedup hits / %d retries", f.Jobs, f.DedupHits, f.Retries)
+		}
+		fmt.Fprintf(&sb, "farm campaign: old %s, new %s\n", fmtFarm(old.Farm), fmtFarm(new.Farm))
 	}
 	if len(failures) > 0 {
 		return sb.String(), fmt.Errorf("perf: kernel regression:\n  %s", strings.Join(failures, "\n  "))

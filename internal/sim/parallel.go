@@ -27,11 +27,24 @@ import (
 // remaining runs still completing. The returned error joins every per-run
 // failure (errors.Join), so callers see all of them, not just the first.
 func RunMany(cfgs []Config, workers int) ([]*Result, error) {
-	return runMany(cfgs, workers, Run)
+	return runMany(cfgs, workers, nil, Run)
+}
+
+// ProgressFunc observes sweep progress: it is called once per completed
+// run (successful or failed) with the number of runs finished so far and
+// the sweep total. Calls are serialized and arrive in completion order,
+// not config order; done is strictly increasing from 1 to total.
+type ProgressFunc func(done, total int)
+
+// RunManyProgress is RunMany with a per-run completion callback. Both the
+// corpsim/corpbench sweep front-ends and the farm dispatcher report
+// progress and ETA through this one hook. A nil progress is RunMany.
+func RunManyProgress(cfgs []Config, workers int, progress ProgressFunc) ([]*Result, error) {
+	return runMany(cfgs, workers, progress, Run)
 }
 
 // runMany is RunMany with the per-run function injected for testing.
-func runMany(cfgs []Config, workers int, run func(Config) (*Result, error)) ([]*Result, error) {
+func runMany(cfgs []Config, workers int, progress ProgressFunc, run func(Config) (*Result, error)) ([]*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -81,6 +94,8 @@ func runMany(cfgs []Config, workers int, run func(Config) (*Result, error)) ([]*
 		pwg.Wait()
 	}
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done := 0
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -88,6 +103,12 @@ func runMany(cfgs []Config, workers int, run func(Config) (*Result, error)) ([]*
 			defer wg.Done()
 			for i := range jobs {
 				results[i], errs[i] = runSafe(run, cfgs[i], i)
+				if progress != nil {
+					progressMu.Lock()
+					done++
+					progress(done, len(cfgs))
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}

@@ -23,7 +23,7 @@ func TestRunManyRecoversPanics(t *testing.T) {
 		}
 		return &Result{Scheme: fmt.Sprint(cfg.Seed)}, nil
 	}
-	results, err := runMany(cfgs, 2, boom)
+	results, err := runMany(cfgs, 2, nil, boom)
 	if err == nil {
 		t.Fatal("panicking run must surface as an error")
 	}
@@ -55,7 +55,7 @@ func TestRunManyJoinsAllErrors(t *testing.T) {
 		cfgs[i] = small(scheduler.RCCR, int64(i))
 	}
 	sentinel := errors.New("sentinel")
-	results, err := runMany(cfgs, 3, func(cfg Config) (*Result, error) {
+	results, err := runMany(cfgs, 3, nil, func(cfg Config) (*Result, error) {
 		if cfg.Seed == 1 {
 			return &Result{}, nil
 		}
@@ -83,7 +83,7 @@ func TestRunManyConcurrencyRace(t *testing.T) {
 	for i := range cfgs {
 		cfgs[i] = small(scheduler.RCCR, int64(i))
 	}
-	results, err := runMany(cfgs, 16, func(cfg Config) (*Result, error) {
+	results, err := runMany(cfgs, 16, nil, func(cfg Config) (*Result, error) {
 		if cfg.Seed%5 == 0 {
 			return nil, fmt.Errorf("seed %d failed", cfg.Seed)
 		}
@@ -103,11 +103,48 @@ func TestRunManyConcurrencyRace(t *testing.T) {
 	}
 }
 
+// TestRunManyProgress: the completion callback fires once per run —
+// failures and panics included — with a strictly increasing done count and
+// the correct total, serialized so callers need no locking of their own.
+func TestRunManyProgress(t *testing.T) {
+	const n = 32
+	cfgs := make([]Config, n)
+	for i := range cfgs {
+		cfgs[i] = small(scheduler.RCCR, int64(i))
+	}
+	var seen []int
+	_, err := runMany(cfgs, 4, func(done, total int) {
+		if total != n {
+			t.Errorf("progress total = %d, want %d", total, n)
+		}
+		seen = append(seen, done)
+	}, func(cfg Config) (*Result, error) {
+		switch cfg.Seed % 3 {
+		case 0:
+			return nil, fmt.Errorf("seed %d failed", cfg.Seed)
+		case 1:
+			panic("progress should still tick")
+		}
+		return &Result{}, nil
+	})
+	if err == nil {
+		t.Fatal("expected joined failures")
+	}
+	if len(seen) != n {
+		t.Fatalf("progress fired %d times, want %d", len(seen), n)
+	}
+	for i, d := range seen {
+		if d != i+1 {
+			t.Fatalf("progress done sequence broken at %d: got %d", i, d)
+		}
+	}
+}
+
 // TestRunManyWorkerDefaults: non-positive worker counts fall back sanely.
 func TestRunManyWorkerDefaults(t *testing.T) {
 	cfgs := []Config{small(scheduler.RCCR, 1)}
 	for _, workers := range []int{-1, 0, 99} {
-		results, err := runMany(cfgs, workers, func(Config) (*Result, error) {
+		results, err := runMany(cfgs, workers, nil, func(Config) (*Result, error) {
 			return &Result{}, nil
 		})
 		if err != nil || len(results) != 1 || results[0] == nil {

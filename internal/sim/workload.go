@@ -62,6 +62,27 @@ func snapshotFor(p workload.Params) (*workload.Snapshot, error) {
 	return workload.Build(p)
 }
 
+// WorkloadKey returns the content address (workload.Params.Key) of the
+// workload the given config's Run would generate, without generating it.
+// Two configs with equal keys draw bit-identical traces, so the key is the
+// dedup unit for distributed work: the farm dispatcher folds it into job
+// identities and workers build each distinct snapshot once per process.
+func WorkloadKey(cfg Config) (string, error) {
+	cfg = cfg.withDefaults()
+	cl, err := cluster.New(cluster.Config{
+		Profile: cfg.Profile, NumPMs: cfg.NumPMs, NumVMs: cfg.NumVMs,
+		Heterogeneous: cfg.Heterogeneous,
+	})
+	if err != nil {
+		return "", err
+	}
+	vmCaps := make([]resource.Vector, len(cl.VMs))
+	for i, vm := range cl.VMs {
+		vmCaps[i] = vm.Capacity
+	}
+	return workloadParams(cfg, vmCaps).Key(), nil
+}
+
 // PrepareWorkload builds (or fetches from the cache) the workload snapshot
 // the given config's Run would generate, without running the simulation.
 // The returned snapshot can be assigned to Config.Prepared and shared

@@ -140,6 +140,9 @@ func GenerateShortJobs(cfg Config) ([]*job.Job, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	jobs := make([]*job.Job, 0, cfg.NumJobs)
+	// One backing array for all specs: the dominant per-job allocation
+	// after the usage series itself (halves the generator's allocs/op).
+	specs := make([]job.Job, cfg.NumJobs)
 	arrivals := sampleArrivals(rng, cfg.Arrivals, cfg.NumJobs, cfg.ArrivalSpan)
 	sortInts(arrivals)
 	for i := 0; i < cfg.NumJobs; i++ {
@@ -147,7 +150,8 @@ func GenerateShortJobs(cfg Config) ([]*job.Job, error) {
 		dur := sampleDuration(rng, cfg.MeanDuration)
 		base := classBaseDemand(rng, class, cfg.VMCapacity)
 		usage := demandSeries(rng, dur, base, cfg.Fluctuation)
-		j := &job.Job{
+		j := &specs[i]
+		*j = job.Job{
 			ID:        job.ID(i),
 			Class:     class,
 			Arrival:   arrivals[i],
@@ -217,15 +221,18 @@ func GenerateResidents(cfg ResidentConfig, vmCaps []resource.Vector, firstID job
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x5eed))
 	residents := make([]*job.Job, 0, len(vmCaps))
+	specs := make([]job.Job, len(vmCaps))
+	var scratch seriesScratch
 	for i, cap := range vmCaps {
 		reserve := cap.Scale(cfg.ReservedShare)
 		base := reserve.Scale(cfg.MeanUseShare)
-		usage := smoothSeries(rng, cfg.Horizon, base, cfg.Fluctuation, cfg.JumpProb)
+		usage := scratch.smoothSeries(rng, cfg.Horizon, base, cfg.Fluctuation, cfg.JumpProb)
 		// Usage cannot exceed the reservation.
 		for k := range usage {
 			usage[k] = usage[k].ClampTo(reserve)
 		}
-		j := &job.Job{
+		j := &specs[i]
+		*j = job.Job{
 			ID:        firstID + job.ID(i),
 			Class:     job.Balanced,
 			Arrival:   0,
@@ -302,15 +309,18 @@ func GenerateLongJobs(cfg LongJobConfig, firstID job.ID) ([]*job.Job, error) {
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x10f6))
 	jobs := make([]*job.Job, 0, cfg.NumJobs)
+	specs := make([]job.Job, cfg.NumJobs)
+	var scratch seriesScratch
 	for i := 0; i < cfg.NumJobs; i++ {
 		dur := cfg.MinDuration + rng.Intn(cfg.MaxDuration-cfg.MinDuration+1)
 		reserve := cfg.VMCapacity.Scale(cfg.ReservedShare * (0.7 + 0.6*rng.Float64()))
 		base := reserve.Scale(cfg.MeanUseShare)
-		usage := smoothSeries(rng, dur, base, 0.5, 0.5)
+		usage := scratch.smoothSeries(rng, dur, base, 0.5, 0.5)
 		for k := range usage {
 			usage[k] = usage[k].ClampTo(reserve)
 		}
-		j := &job.Job{
+		j := &specs[i]
+		*j = job.Job{
 			ID:        firstID + job.ID(i),
 			Class:     job.Balanced,
 			Arrival:   rng.Intn(cfg.ArrivalSpan),
@@ -515,8 +525,27 @@ func demandSeries(rng *rand.Rand, n int, base resource.Vector, amp float64) []re
 // result fluctuates at the multi-minute scale (what the HMM corrects for)
 // while staying smooth at the slot scale (as a resampled trace is).
 func smoothSeries(rng *rand.Rand, n int, base resource.Vector, amp, jumpProb float64) []resource.Vector {
+	var scratch seriesScratch
+	return scratch.smoothSeries(rng, n, base, amp, jumpProb)
+}
+
+// seriesScratch holds the transient buffers smoothSeries needs (coarse
+// process, jump flags, jitter RNG) so generators looping over many series
+// pay for them once instead of per series. Only the returned fine series
+// escapes; everything here is overwritten on the next call.
+type seriesScratch struct {
+	coarse []resource.Vector
+	jump   []bool
+	jitter *rand.Rand
+}
+
+func (sc *seriesScratch) smoothSeries(rng *rand.Rand, n int, base resource.Vector, amp, jumpProb float64) []resource.Vector {
 	nCoarse := n/CoarseSlots + 2
-	coarse := make([]resource.Vector, nCoarse)
+	if cap(sc.coarse) < nCoarse {
+		sc.coarse = make([]resource.Vector, nCoarse)
+		sc.jump = make([]bool, nCoarse)
+	}
+	coarse := sc.coarse[:nCoarse]
 	level := 1.0
 	regime := regimeNormal
 	for i := range coarse {
@@ -557,12 +586,24 @@ func smoothSeries(rng *rand.Rand, n int, base resource.Vector, amp, jumpProb flo
 	// boundaries the level jumps (a job finished or arrived) instead of
 	// drifting. Densify piecewise: hold-then-jump at jump boundaries,
 	// interpolate elsewhere.
-	jump := make([]bool, nCoarse)
+	jump := sc.jump[:nCoarse]
 	for i := range jump {
 		jump[i] = rng.Float64() < jumpProb
 	}
-	jitterRng := rand.New(rand.NewSource(rng.Int63()))
-	fine := make([]resource.Vector, 0, nCoarse*CoarseSlots)
+	if sc.jitter == nil {
+		sc.jitter = rand.New(rand.NewSource(rng.Int63()))
+	} else {
+		// Seed replays the same sequence rand.New(rand.NewSource(s))
+		// would produce, so reuse is draw-for-draw identical.
+		sc.jitter.Seed(rng.Int63())
+	}
+	jitterRng := sc.jitter
+	// The fine series escapes (it becomes the job's Usage), so it is the
+	// one allocation per series — sized exactly n; trailing jitter draws
+	// for the unused tail of the last coarse step are skipped, which is
+	// unobservable because the jitter RNG is re-seeded per series.
+	fine := make([]resource.Vector, 0, n)
+densify:
 	for i := 0; i < nCoarse; i++ {
 		cur := coarse[i]
 		next := cur
@@ -574,9 +615,12 @@ func smoothSeries(rng *rand.Rand, n int, base resource.Vector, amp, jumpProb flo
 			v := cur.Scale(1 - f).Add(next.Scale(f))
 			v = v.Scale(1 + 0.04*(2*jitterRng.Float64()-1))
 			fine = append(fine, v.ClampNonNegative())
+			if len(fine) == n {
+				break densify
+			}
 		}
 	}
-	return fine[:n]
+	return fine
 }
 
 // sortInts is insertion sort; arrival lists are short and this avoids an

@@ -33,6 +33,21 @@ type Stats struct {
 	Bytes int64 `json:"bytes"`
 }
 
+// Add returns the element-wise sum of two stats snapshots. The farm
+// dispatcher uses it to aggregate per-worker cache counters (streamed in
+// heartbeats) into a fleet-wide total: across N worker processes a
+// campaign with W distinct workloads should build at most N×W snapshots
+// no matter how many runs it fans out.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Hits:      s.Hits + o.Hits,
+		Misses:    s.Misses + o.Misses,
+		Evictions: s.Evictions + o.Evictions,
+		Entries:   s.Entries + o.Entries,
+		Bytes:     s.Bytes + o.Bytes,
+	}
+}
+
 // Cache is a content-addressed snapshot store with singleflight builds:
 // concurrent Gets for one key share a single generation, so a sweep that
 // fans 4 schemes × R replications out over shared workloads never builds a

@@ -23,6 +23,21 @@ var claimed atomic.Int64
 // Limit returns the total budget: GOMAXPROCS at the time of the call.
 func Limit() int { return runtime.GOMAXPROCS(0) }
 
+// InUse returns how many slots are currently claimed process-wide (never
+// negative, and never above Limit even if racing claims momentarily
+// overshoot). Farm workers report it in heartbeats so the dispatcher's
+// status shows per-worker engine saturation.
+func InUse() int {
+	n := int(claimed.Load())
+	if n < 0 {
+		return 0
+	}
+	if limit := Limit(); n > limit {
+		return limit
+	}
+	return n
+}
+
 // Available returns how many slots are currently unclaimed (never
 // negative).
 func Available() int {

@@ -30,6 +30,24 @@ func TestClaimUpToBounds(t *testing.T) {
 	}
 }
 
+func TestInUseTracksClaims(t *testing.T) {
+	reset()
+	if InUse() != 0 {
+		t.Fatalf("fresh budget: in use %d, want 0", InUse())
+	}
+	got := ClaimUpTo(1)
+	if InUse() != got {
+		t.Fatalf("in use %d after claiming %d", InUse(), got)
+	}
+	if InUse()+Available() != Limit() {
+		t.Fatalf("in use %d + available %d != limit %d", InUse(), Available(), Limit())
+	}
+	Release(got)
+	if InUse() != 0 {
+		t.Fatalf("in use %d after release", InUse())
+	}
+}
+
 func TestClaimZeroAndNegative(t *testing.T) {
 	reset()
 	if ClaimUpTo(0) != 0 || ClaimUpTo(-3) != 0 {
