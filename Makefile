@@ -3,9 +3,9 @@
 
 GO ?= go
 
-.PHONY: check check-perf farm-smoke fmt vet build test race bench bench-figs bench-diff
+.PHONY: check check-perf farm-smoke fmt vet build test race scale-smoke bench bench-figs bench-diff profile-scale
 
-check: fmt vet build test race farm-smoke
+check: fmt vet build test race farm-smoke scale-smoke
 	@$(MAKE) --no-print-directory check-perf PERF_FATAL=0
 
 # gofmt -l prints unformatted files; fail loudly if there are any.
@@ -45,6 +45,23 @@ farm-smoke:
 	$(GO) build -o bin/corpfarm ./cmd/corpfarm
 	$(GO) build -o bin/corpfarmd ./cmd/corpfarmd
 	./bin/corpfarm -addr 127.0.0.1:0 -quick -local 0 -spawn 2 -figs fig06,ext-faults
+
+# scale-smoke runs the short-horizon scale-profile smoke test explicitly:
+# one 5000-PM / 20000-VM RCCR burst at a truncated horizon, run with the
+# periodic resident tables on and off and compared bit-for-bit. It also
+# rides the plain `go test ./...` tier; the named target keeps the 5k-PM
+# path visible as its own CI step.
+scale-smoke:
+	$(GO) test -count=1 -run TestScaleProfileSmoke ./internal/sim
+
+# profile-scale captures pprof CPU+heap profiles of the scale-profile
+# single run (scale/sim-scale5k-rccr only, via -bench-filter — no other
+# bench or its setup runs). Inspect with `go tool pprof cpu-scale.pprof`.
+# This is where every scale-profile optimisation starts; see EXPERIMENTS.md.
+profile-scale:
+	$(GO) run ./cmd/corpbench -json -bench-filter scale/sim-scale5k-rccr-w1 \
+		-cpuprofile cpu-scale.pprof -memprofile mem-scale.pprof -out /tmp/bench-scale.json
+	@echo "wrote cpu-scale.pprof mem-scale.pprof (bench json: /tmp/bench-scale.json)"
 
 # bench runs the hot-path benchmark suite at a fixed benchtime (stable
 # enough for snapshot comparison) and writes the BENCH_<date>.json perf

@@ -27,6 +27,7 @@
 //	-bench-diff compare two snapshots "old.json,new.json"; non-zero exit
 //	            on >10% ns/op regression in the DNN kernels
 //	-bench-tol  fractional regression tolerance for -bench-diff (default 0.10)
+//	-bench-filter with -json, run only benches whose name contains this substring
 //	-cpuprofile write a pprof CPU profile of the run to the given file
 //	-memprofile write a pprof heap profile at exit to the given file
 //
@@ -37,6 +38,7 @@
 //	corpbench -json -out BENCH_2026-08-06.json
 //	corpbench -bench-diff BENCH_old.json,BENCH_new.json
 //	corpbench -fig fig06 -cpuprofile cpu.out
+//	corpbench -json -bench-filter scale/sim-scale5k -cpuprofile cpu.pprof -out /tmp/scale.json
 package main
 
 import (
@@ -77,6 +79,7 @@ func run(args []string, out io.Writer) error {
 	benchJSON := fs.Bool("json", false, "run the perf benchmark suite and write a JSON snapshot")
 	benchOut := fs.String("out", "", "snapshot path for -json (default BENCH_<date>.json)")
 	benchQuick := fs.Bool("bench-quick", false, "with -json, skip the end-to-end figure bench")
+	benchFilter := fs.String("bench-filter", "", "with -json, run only benches whose name contains this substring")
 	benchDiff := fs.String("bench-diff", "", "compare two snapshots \"old.json,new.json\"")
 	benchTol := fs.Float64("bench-tol", 0.10, "fractional ns/op regression tolerance for -bench-diff")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -129,7 +132,7 @@ func run(args []string, out io.Writer) error {
 	case *benchDiff != "":
 		return runBenchDiff(out, *benchDiff, *benchTol)
 	case *benchJSON:
-		return runBenchJSON(out, *benchOut, *benchQuick)
+		return runBenchJSON(out, *benchOut, *benchQuick, *benchFilter)
 	}
 
 	core, err := sim.ParseCore(*coreName)
@@ -183,12 +186,13 @@ func printCacheStats(out io.Writer) {
 		st.Hits, st.Misses, st.Evictions, st.Entries, float64(st.Bytes)/1e6)
 }
 
-// runBenchJSON runs the perf suite and writes the snapshot file.
-func runBenchJSON(out io.Writer, path string, quick bool) error {
+// runBenchJSON runs the perf suite (optionally restricted to benches whose
+// name contains filter) and writes the snapshot file.
+func runBenchJSON(out io.Writer, path string, quick bool, filter string) error {
 	if path == "" {
 		path = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 	}
-	snap := perf.Suite(quick)
+	snap := perf.SuiteFiltered(quick, filter)
 	snap.Date = time.Now().Format("2006-01-02")
 	f, err := os.Create(path)
 	if err != nil {

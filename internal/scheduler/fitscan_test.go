@@ -1,0 +1,109 @@
+package scheduler
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// refFitScan is the trusted oracle: the original per-VM loop exactly as
+// randomFit wrote it before the pool+eps precomputation, evaluated over
+// raw pools.
+func refFitScan(p0, p1, p2 []float64, d0, d1, d2 float64) []int32 {
+	const eps = 1e-9
+	var out []int32
+	for i := range p0 {
+		if d0 > p0[i]+eps || d1 > p1[i]+eps || d2 > p2[i]+eps {
+			continue
+		}
+		out = append(out, int32(i))
+	}
+	return out
+}
+
+func fillPools(rng *rand.Rand, n int) (p [3][]float64, q [3][]float64) {
+	for k := 0; k < 3; k++ {
+		p[k] = make([]float64, n)
+		q[k] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < 3; k++ {
+			var v float64
+			switch rng.Intn(10) {
+			case 0:
+				v = math.Inf(-1) // down-VM sentinel
+			case 1:
+				v = 0.5 // exact demand boundary
+			case 2:
+				v = 0.5 - 1e-9 // just inside the eps slack
+			case 3:
+				v = math.NaN() // never produced, but must not diverge
+			default:
+				v = rng.Float64()
+			}
+			p[k][i] = v
+			q[k][i] = v + fitEps
+		}
+	}
+	return p, q
+}
+
+// TestFitScanMatchesReference pins fitScan — vector kernel plus scalar
+// tail on AVX-512 machines, pure scalar elsewhere — element-for-element
+// against the original raw-pool loop, across lengths that exercise the
+// kernel/tail split and values that sit exactly on the eps boundary.
+func TestFitScanMatchesReference(t *testing.T) {
+	t.Logf("hasFitScanAsm = %v", hasFitScanAsm)
+	rng := rand.New(rand.NewSource(42))
+	lengths := []int{0, 1, 7, 8, 9, 15, 16, 63, 64, 65, 127, 128, 200, 1024}
+	demands := [][3]float64{
+		{0.5, 0.5, 0.5},
+		{0.5 + 1e-9, 0.5, 0.5},
+		{0, 0, 0},
+		{2, 2, 2}, // nothing fits
+	}
+	var out []int32
+	for _, n := range lengths {
+		p, q := fillPools(rng, n)
+		for trial := 0; trial < 8; trial++ {
+			d := demands[trial%len(demands)]
+			if trial >= len(demands) {
+				d = [3]float64{rng.Float64(), rng.Float64(), rng.Float64()}
+			}
+			want := refFitScan(p[0], p[1], p[2], d[0], d[1], d[2])
+			out = fitScan(q[0], q[1], q[2], d[0], d[1], d[2], out)
+			if len(out) != len(want) {
+				t.Fatalf("n=%d d=%v: got %d fits, want %d", n, d, len(out), len(want))
+			}
+			for i := range want {
+				if out[i] != want[i] {
+					t.Fatalf("n=%d d=%v: fits[%d] = %d, want %d", n, d, i, out[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// FuzzFitScanKernel drives the vector kernel against the scalar loop with
+// fuzz-chosen scalars: any divergence in candidate set or order is a
+// placement (and RNG-draw) divergence, so both paths must agree exactly.
+func FuzzFitScanKernel(f *testing.F) {
+	f.Add(int64(1), 0.3, 0.6, 0.9, uint8(100))
+	f.Add(int64(7), 0.5, 0.5, 0.5, uint8(64))
+	f.Add(int64(9), 0.0, 1.0, 0.5, uint8(65))
+	f.Fuzz(func(t *testing.T, seed int64, d0, d1, d2 float64, nb uint8) {
+		n := int(nb)
+		rng := rand.New(rand.NewSource(seed))
+		_, q := fillPools(rng, n)
+		want := fitScanGeneric(q[0], q[1], q[2], d0, d1, d2, nil, 0)
+		got := fitScan(q[0], q[1], q[2], d0, d1, d2, nil)
+		if len(got) != len(want) {
+			t.Fatalf("got %d fits, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("fits[%d] = %d, want %d", i, got[i], want[i])
+			}
+		}
+	})
+}

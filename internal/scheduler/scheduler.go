@@ -19,6 +19,7 @@ package scheduler
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/cluster"
@@ -169,7 +170,9 @@ type Scheduler interface {
 	Refresh()
 	// Place decides placements for the given pending jobs. Views are
 	// indexed by VM. Jobs not covered by any returned placement stay
-	// queued.
+	// queued. The returned slice (and the Jobs/Allocs slices inside each
+	// Placement) may be reused backing storage, valid only until the next
+	// Place call; callers that retain placements must copy them out.
 	Place(jobs []*job.Job, views []VMView) []Placement
 	// DrainOutcomes returns matured prediction errors across all VMs
 	// (for the Fig. 6 harness). The returned slice may be a reused
@@ -604,55 +607,154 @@ func (s *corpScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 // randomScheduler implements RCCR's and CloudScale's placement: each job
 // individually, on a uniformly random VM whose predicted unused resources
 // satisfy it, falling back to a random VM with fresh headroom.
+//
+// The pools are kept in structure-of-arrays form (one flat float64 slice
+// per resource kind, rebuilt from the views at the top of each Place call)
+// so the per-job feasibility scan streams three dense arrays instead of
+// walking []resource.Vector plus a 56-byte VMView per VM. Down VMs hold
+// -Inf in every kind, which fails the fit comparison for any real demand —
+// exactly the set the old explicit Down check excluded — without a branch
+// or a views load in the scan. At the scale profile (350k jobs × 20000
+// VMs) this scan is the single largest cost in the whole run.
 type randomScheduler struct {
 	base
 	name        string
 	allocFactor float64
 	// fits is randomFit's reused candidate buffer.
-	fits []int
+	fits []int32
+	// soaOpp/soaFresh are the per-kind pool arrays; soaOpp[k][i] is VM i's
+	// opportunistic pool in kind k (-Inf when the VM is down). soaOppQ /
+	// soaFreshQ mirror them with fitEps pre-added — the scan arrays: the
+	// feasibility test `demand > pool+eps` reads the precomputed sum, so
+	// the per-VM comparison is two loads and a compare (and vectorizes;
+	// see fitscan.go). -Inf + fitEps is still -Inf, so down sentinels
+	// survive the precomputation.
+	soaOpp    [resource.NumKinds][]float64
+	soaFresh  [resource.NumKinds][]float64
+	soaOppQ   [resource.NumKinds][]float64
+	soaFreshQ [resource.NumKinds][]float64
+	arena     placementArena
 }
 
 func (s *randomScheduler) Name() string { return s.name }
 
-func (s *randomScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
-	opp, fresh := s.pools(views)
-	var placements []Placement
-	for _, j := range jobs {
-		alloc := padStorage(j.PeakDemand()).Scale(s.allocFactor * s.tight)
-		if vm, ok := s.randomFit(alloc, opp, views); ok {
-			opp[vm] = opp[vm].Sub(alloc).ClampNonNegative()
-			placements = append(placements, Placement{
-				Jobs: []*job.Job{j}, Allocs: []resource.Vector{alloc}, VM: vm, Opportunistic: true,
-			})
-			continue
-		}
-		if vm, ok := s.randomFit(alloc, fresh, views); ok {
-			fresh[vm] = fresh[vm].Sub(alloc).ClampNonNegative()
-			placements = append(placements, Placement{
-				Jobs: []*job.Job{j}, Allocs: []resource.Vector{alloc}, VM: vm,
-			})
+// buildSoAPools fills the per-kind pool arrays from the views. Values are
+// the same b.oppAvailable / FreshAvailable vectors pools() would copy,
+// only transposed; down VMs become -Inf sentinels.
+func (s *randomScheduler) buildSoAPools(views []VMView) {
+	n := len(views)
+	if cap(s.soaOpp[0]) < n {
+		for k := 0; k < resource.NumKinds; k++ {
+			s.soaOpp[k] = make([]float64, n)
+			s.soaFresh[k] = make([]float64, n)
+			s.soaOppQ[k] = make([]float64, n)
+			s.soaFreshQ[k] = make([]float64, n)
 		}
 	}
-	return placements
+	for k := 0; k < resource.NumKinds; k++ {
+		s.soaOpp[k] = s.soaOpp[k][:n]
+		s.soaFresh[k] = s.soaFresh[k][:n]
+		s.soaOppQ[k] = s.soaOppQ[k][:n]
+		s.soaFreshQ[k] = s.soaFreshQ[k][:n]
+	}
+	negInf := math.Inf(-1)
+	for i := range views {
+		if views[i].Down {
+			for k := 0; k < resource.NumKinds; k++ {
+				s.soaOpp[k][i] = negInf
+				s.soaFresh[k][i] = negInf
+				s.soaOppQ[k][i] = negInf
+				s.soaFreshQ[k][i] = negInf
+			}
+			continue
+		}
+		o := s.oppAvailable(i, views[i])
+		f := views[i].FreshAvailable
+		for k := 0; k < resource.NumKinds; k++ {
+			s.soaOpp[k][i] = o[k]
+			s.soaFresh[k][i] = f[k]
+			s.soaOppQ[k][i] = o[k] + fitEps
+			s.soaFreshQ[k][i] = f[k] + fitEps
+		}
+	}
+}
+
+// poolAt gathers VM i's pool vector back out of the SoA arrays.
+func poolAt(pool *[resource.NumKinds][]float64, i int) resource.Vector {
+	return resource.Vector{pool[0][i], pool[1][i], pool[2][i]}
+}
+
+func (s *randomScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
+	s.buildSoAPools(views)
+	s.arena.reset()
+	for _, j := range jobs {
+		alloc := padStorage(j.PeakDemand()).Scale(s.allocFactor * s.tight)
+		if vm, ok := s.randomFit(alloc, &s.soaOppQ); ok {
+			p := poolAt(&s.soaOpp, vm).Sub(alloc).ClampNonNegative()
+			for k := 0; k < resource.NumKinds; k++ {
+				s.soaOpp[k][vm] = p[k]
+				s.soaOppQ[k][vm] = p[k] + fitEps
+			}
+			s.arena.add(j, alloc, vm, true)
+			continue
+		}
+		if vm, ok := s.randomFit(alloc, &s.soaFreshQ); ok {
+			p := poolAt(&s.soaFresh, vm).Sub(alloc).ClampNonNegative()
+			for k := 0; k < resource.NumKinds; k++ {
+				s.soaFresh[k][vm] = p[k]
+				s.soaFreshQ[k][vm] = p[k] + fitEps
+			}
+			s.arena.add(j, alloc, vm, false)
+		}
+	}
+	return s.arena.placements
 }
 
 // randomFit returns a uniformly random up-VM index whose pool satisfies
-// demand.
-func (s *randomScheduler) randomFit(demand resource.Vector, pools []resource.Vector, views []VMView) (int, bool) {
-	fits := s.fits[:0]
-	for i, p := range pools {
-		if views[i].Down {
-			continue
-		}
-		if demand.FitsIn(p) {
-			fits = append(fits, i)
-		}
-	}
-	s.fits = fits
-	if len(fits) == 0 {
+// demand. The scan (fitscan.go) evaluates exactly resource.Vector.FitsIn
+// over the precomputed pool+eps arrays — !(demand > pool+eps) per kind —
+// so the candidate set, its order, and the single rng.Intn draw per
+// successful call are bit-identical to the AoS implementation it replaced,
+// whether the vector kernel or the scalar loop runs it.
+func (s *randomScheduler) randomFit(demand resource.Vector, q *[resource.NumKinds][]float64) (int, bool) {
+	s.fits = fitScan(q[0], q[1], q[2], demand[0], demand[1], demand[2], s.fits)
+	if len(s.fits) == 0 {
 		return 0, false
 	}
-	return fits[s.rng.Intn(len(fits))], true
+	return int(s.fits[s.rng.Intn(len(s.fits))]), true
+}
+
+// placementArena is a reused backing store for the single-job Placement
+// slices the random and DRA schedulers return: one placements slice plus
+// flat job/alloc arrays that one-element Jobs/Allocs subslices are carved
+// from. It eliminates the three small heap allocations per placed job
+// (hundreds of thousands per scale run). Per the Scheduler.Place contract
+// the returned placements are only valid until the next Place call, which
+// is exactly when the arena is reset.
+type placementArena struct {
+	placements []Placement
+	jobs       []*job.Job
+	allocs     []resource.Vector
+}
+
+func (a *placementArena) reset() {
+	a.placements = a.placements[:0]
+	a.jobs = a.jobs[:0]
+	a.allocs = a.allocs[:0]
+}
+
+func (a *placementArena) add(j *job.Job, alloc resource.Vector, vm int, opp bool) {
+	// Full-capacity subslices: if a later append grows the backing array,
+	// already-taken subslices keep pointing at the old one — still valid
+	// for the lifetime of this Place call's result.
+	a.jobs = append(a.jobs, j)
+	a.allocs = append(a.allocs, alloc)
+	a.placements = append(a.placements, Placement{
+		Jobs:          a.jobs[len(a.jobs)-1 : len(a.jobs) : len(a.jobs)],
+		Allocs:        a.allocs[len(a.allocs)-1 : len(a.allocs) : len(a.allocs)],
+		VM:            vm,
+		Opportunistic: opp,
+	})
 }
 
 // draScheduler implements DRA: demand-based allocation from unallocated
@@ -663,6 +765,7 @@ type draScheduler struct {
 	base
 	shares []int
 	bulk   float64
+	arena  placementArena
 }
 
 func newDRAScheduler(b base, bulk float64) *draScheduler {
@@ -685,7 +788,7 @@ func (s *draScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 	for i, v := range views {
 		fresh[i] = v.FreshAvailable
 	}
-	var placements []Placement
+	s.arena.reset()
 	for _, j := range jobs {
 		alloc := padStorage(j.PeakDemand()).Scale(s.bulk * s.tight)
 		vm, ok := s.shareWeightedFit(alloc, fresh, views)
@@ -693,11 +796,9 @@ func (s *draScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 			continue
 		}
 		fresh[vm] = fresh[vm].Sub(alloc).ClampNonNegative()
-		placements = append(placements, Placement{
-			Jobs: []*job.Job{j}, Allocs: []resource.Vector{alloc}, VM: vm,
-		})
+		s.arena.add(j, alloc, vm, false)
 	}
-	return placements
+	return s.arena.placements
 }
 
 // shareWeightedFit picks a feasible up VM with probability proportional to

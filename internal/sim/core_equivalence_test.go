@@ -59,6 +59,16 @@ func coreScenarios() []coreScenario {
 			cfg.NumPMs, cfg.NumVMs = 0, 0
 			return cfg
 		}},
+		// Surge-heavy: most slots run with surged resident demand, so the
+		// observe fast path must stand down for long stretches and the
+		// active-set executor sees surge-driven eviction/retry churn.
+		coreScenario{"surged", func() Config {
+			cfg := base(scheduler.RCCR, 13)
+			cfg.Faults = faults.Config{
+				Seed: 13, SurgeProb: 0.25, SurgeFactor: 1.8, MeanDowntime: 8,
+			}
+			return cfg
+		}},
 	)
 	return scen
 }
@@ -97,7 +107,8 @@ func TestCoreEquivalence(t *testing.T) {
 // data races (the race Make target covers this package).
 func TestCoreEquivalenceParallel(t *testing.T) {
 	counts := []int{2, 4, runtime.GOMAXPROCS(0)}
-	for _, sc := range []coreScenario{coreScenarios()[0], coreScenarios()[5], coreScenarios()[6]} {
+	all := coreScenarios()
+	for _, sc := range []coreScenario{all[0], all[5], all[6], all[9]} {
 		sc := sc
 		t.Run(sc.name, func(t *testing.T) {
 			t.Parallel()

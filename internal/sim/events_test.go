@@ -84,3 +84,88 @@ func TestEventQueueRandomized(t *testing.T) {
 		}
 	}
 }
+
+// TestEventQueueDuplicateTimestampDrain is the drain-order property test
+// with the adversarial shape the event core actually produces: many
+// duplicate evPlace/evRetry events sharing timestamps (several retries
+// released in one slot, re-armed placement passes). The whole queue is
+// drained at once and every pop must follow the exact (time, kind, index,
+// seq) order.
+func TestEventQueueDuplicateTimestampDrain(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		var q eventQueue
+		var ref []event
+		push := func(tm int, k eventKind, idx int) {
+			q.Push(tm, k, idx)
+			ref = append(ref, event{time: tm, kind: k, index: idx, seq: q.seq})
+		}
+		for i := 0; i < 400; i++ {
+			tm := rng.Intn(8) // few timestamps → heavy duplication
+			switch rng.Intn(4) {
+			case 0:
+				push(tm, evPlace, 0)
+			case 1:
+				push(tm, evRetry, rng.Intn(3))
+			case 2:
+				// Duplicate the same (time, kind, index) several times:
+				// only seq breaks the tie.
+				for d := 0; d < 3; d++ {
+					push(tm, evRetry, 1)
+				}
+			default:
+				push(tm, eventKind(rng.Intn(8)), rng.Intn(4))
+			}
+		}
+		sort.Slice(ref, func(a, b int) bool { return ref[a].before(ref[b]) })
+		for i, want := range ref {
+			if !q.HasPendingEvents() {
+				t.Fatalf("seed %d: queue empty at pop %d/%d", seed, i, len(ref))
+			}
+			if got := q.pop(); got != want {
+				t.Fatalf("seed %d pop %d: %+v, want %+v", seed, i, got, want)
+			}
+		}
+		if q.HasPendingEvents() {
+			t.Fatalf("seed %d: queue not drained", seed)
+		}
+	}
+}
+
+// FuzzArmPlaceDedup fuzzes armPlace's monotonic dedup against a naive
+// model: a sorted slice of armed slots where an arm(t) request is accepted
+// only if t is strictly greater than every previously armed slot. The
+// queue must hold exactly the accepted slots' evPlace events (at most one
+// per slot), in order.
+func FuzzArmPlaceDedup(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 3, 3, 2, 5})
+	f.Add([]byte{7, 7, 7})
+	f.Add([]byte{1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, arms []byte) {
+		rs := &runState{placeArmedAt: -1}
+		var model []int // accepted arm times, strictly increasing
+		for _, b := range arms {
+			at := int(b % 32)
+			rs.armPlace(at)
+			if len(model) == 0 || at > model[len(model)-1] {
+				model = append(model, at)
+			}
+		}
+		var got []int
+		for rs.events.HasPendingEvents() {
+			e := rs.events.pop()
+			if e.kind != evPlace {
+				t.Fatalf("non-evPlace event %+v in queue", e)
+			}
+			got = append(got, e.time)
+		}
+		if len(got) != len(model) {
+			t.Fatalf("armed %v, queue drained %v", model, got)
+		}
+		for i := range got {
+			if got[i] != model[i] {
+				t.Fatalf("pop %d: slot %d, want %d (model %v, got %v)", i, got[i], model[i], model, got)
+			}
+		}
+	})
+}

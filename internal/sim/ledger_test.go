@@ -101,7 +101,8 @@ func TestRefreshWindowSkipsDownVMs(t *testing.T) {
 		vms:     vms,
 	}
 	rs.initScratch()
-	rs.downMask[1], rs.downMask[3] = true, true
+	rs.setDown(1, true)
+	rs.setDown(3, true)
 
 	before := rs.res.Overhead.CommMicros
 	rs.refreshWindow(0)

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/job"
+	"repro/internal/predict"
+	"repro/internal/resource"
+	"repro/internal/scheduler"
+	"repro/internal/workload"
+)
+
+// ObserveBench drives the telemetry phase (runState.observe) in isolation
+// over a synthetic idle fleet, for the perf suite's sim/slot-observe-*
+// entries: the same per-slot work the full scale run pays on every quiet
+// slot, with the predictor fan-out stubbed out so the measurement isolates
+// the resident-demand computation (periodic-table fast path versus per-VM
+// recomputation).
+type ObserveBench struct {
+	rs *runState
+	t  int
+}
+
+// nullScheduler is a no-op scheduler so ObserveBench's runState satisfies
+// initScratch without dragging a predictor fleet into the measurement.
+type nullScheduler struct{}
+
+func (nullScheduler) Name() string                         { return "null" }
+func (nullScheduler) Window() int                          { return 6 }
+func (nullScheduler) Observe(int, resource.Vector)         {}
+func (nullScheduler) Refresh()                             {}
+func (nullScheduler) ObserveAll([]resource.Vector, []bool) {}
+func (nullScheduler) DrainOutcomes() []predict.ErrorSample { return nil }
+func (nullScheduler) Place([]*job.Job, []scheduler.VMView) []scheduler.Placement {
+	return nil
+}
+
+// NewObserveBench builds the bench fleet from a prepared workload snapshot
+// (one resident per VM capacity in its params). disableTables forces the
+// slow recomputation path; otherwise the snapshot's periodic tables drive
+// the fast path.
+func NewObserveBench(snap *workload.Snapshot, disableTables bool) (*ObserveBench, error) {
+	residents := snap.Residents()
+	caps := snap.Params().VMCaps
+	if len(residents) != len(caps) {
+		return nil, fmt.Errorf("sim: observe bench: %d residents for %d VM capacities", len(residents), len(caps))
+	}
+	vms := make([]*vmState, len(residents))
+	for i, r := range residents {
+		vms[i] = &vmState{capacity: caps[i], reserved: r.Request, resident: r}
+	}
+	rs := &runState{
+		sched:   nullScheduler{},
+		vms:     vms,
+		workers: 1,
+	}
+	if !disableTables {
+		if tab := snap.Tables(); tab != nil && tab.NumVMs == len(vms) {
+			rs.tables = tab
+		}
+	}
+	rs.initScratch()
+	return &ObserveBench{rs: rs}, nil
+}
+
+// UsingTables reports whether the fast path is armed.
+func (ob *ObserveBench) UsingTables() bool { return ob.rs.tables != nil }
+
+// Run drives iters consecutive telemetry slots (continuing from the last
+// call, so repeated calls walk the period instead of re-observing slot 0)
+// and returns a checksum over the computed unused vectors so the work
+// cannot be dead-code-eliminated.
+func (ob *ObserveBench) Run(iters int) float64 {
+	var sum float64
+	for i := 0; i < iters; i++ {
+		t := ob.t
+		ob.t++
+		ob.rs.observe(t)
+		sum += ob.rs.unused[t%len(ob.rs.vms)][0]
+	}
+	return sum
+}

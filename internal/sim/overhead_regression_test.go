@@ -1,0 +1,46 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/scheduler"
+)
+
+// TestFaultedOverheadRegression pins the exact Overhead totals of a
+// faulted run under the virtual clock. The comm total is the quantity the
+// refreshWindow batching (AddCommRepeat over up-VM count) must preserve:
+// every crash and recovery changes how many VMs are charged status-RPC
+// latency per refresh, so any drift in the down-mask bookkeeping — or a
+// "simplification" of the repeated float addition into one multiply, which
+// is not bit-identical once real latencies contaminate the accumulator —
+// moves these totals.
+func TestFaultedOverheadRegression(t *testing.T) {
+	cfg := Config{
+		NumPMs: 6, NumVMs: 24, NumJobs: 40, Seed: 11,
+		Warmup: 40, ArrivalSpan: 30, Drain: 60,
+		Scheduler: scheduler.Config{Scheme: scheduler.CORP, Seed: 11},
+		Faults: faults.Config{
+			Seed: 11, VMCrashProb: 0.01, MeanDowntime: 12,
+			SurgeProb: 0.02, DelayProb: 0.05,
+		},
+		Clock:   &VirtualClock{StepMicros: 50},
+		Workers: 1,
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Overhead.ComputeMicros; got != 2200 {
+		t.Errorf("ComputeMicros = %v, want 2200", got)
+	}
+	if got := res.Overhead.CommMicros; got != 50900 {
+		t.Errorf("CommMicros = %v, want 50900", got)
+	}
+	if got := res.Overhead.Operations; got != 523 {
+		t.Errorf("Operations = %v, want 523", got)
+	}
+	if res.Recovery.VMCrashes == 0 || res.Recovery.VMRecoveries == 0 {
+		t.Fatalf("fault injection vacuous: %+v", res.Recovery)
+	}
+}

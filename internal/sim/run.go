@@ -10,6 +10,7 @@ import (
 	"repro/internal/predict"
 	"repro/internal/resource"
 	"repro/internal/scheduler"
+	"repro/internal/workload"
 )
 
 // pendingRetry is an evicted job waiting out its backoff before re-entering
@@ -59,6 +60,20 @@ type runState struct {
 	hasBatcher  bool
 	exec        []vmExecRecord
 
+	// Activity-proportional fast-path state (DESIGN.md §5i). tables holds
+	// the snapshot's precomputed periodic resident vectors (nil disables
+	// the telemetry fast path). downCount/downMask and longActive are
+	// maintained incrementally at their transition points (advanceFaults,
+	// long placement/finish) so the fast paths need no O(VMs) rescan.
+	// activeJobs counts running short+long jobs per VM; execDirty marks
+	// VMs whose cached exec record no longer matches what a full
+	// executeVM pass would produce (job finished, fault transition).
+	tables     *workload.ResidentTables
+	downCount  int
+	longActive int
+	activeJobs []int32
+	execDirty  []bool
+
 	// Event-core state; unused by the slot loop.
 	useEvents    bool
 	events       eventQueue
@@ -74,6 +89,13 @@ func (rs *runState) initScratch() {
 	rs.surgeHits = make([]int, n)
 	rs.views = make([]scheduler.VMView, n)
 	rs.exec = make([]vmExecRecord, n)
+	rs.activeJobs = make([]int32, n)
+	rs.execDirty = make([]bool, n)
+	for v := range rs.execDirty {
+		// Every VM starts dirty: the first executeSlot must run a full
+		// pass to seed the cached records.
+		rs.execDirty[v] = true
+	}
 	rs.batcher, rs.hasBatcher = rs.sched.(scheduler.BatchObserver)
 	rs.placeArmedAt = -1
 }
@@ -111,11 +133,13 @@ func (rs *runState) advanceFaults(t int) {
 	res.Recovery.PMCrashes += ev.PMCrashes
 	for _, v := range ev.Recovered {
 		rs.vms[v].down = false
+		rs.setDown(v, false)
 		res.Recovery.VMRecoveries++
 	}
 	for _, v := range ev.Crashed {
 		st := rs.vms[v]
 		st.down = true
+		rs.setDown(v, true)
 		res.Recovery.VMCrashes++
 		for _, rt := range st.running {
 			rt.Evict(t)
@@ -138,6 +162,8 @@ func (rs *runState) advanceFaults(t int) {
 		// Long-lived jobs die with the VM and are not retried; their
 		// guaranteed reservations return to the pool.
 		res.LongFailed += len(st.longRunning)
+		rs.longActive -= len(st.longRunning)
+		rs.activeJobs[v] = 0
 		st.running = nil
 		st.longRunning = nil
 		st.freshInUse = resource.Vector{}
@@ -150,6 +176,23 @@ func (rs *runState) advanceFaults(t int) {
 		res.Recovery.InjectedDelayMicros += ev.DelayMicros
 	}
 	rs.surge = ev.Surge
+}
+
+// setDown records VM v's up/down transition: the mask, the incremental
+// up-VM count the refresh window charges from, and the execute cache (a
+// cached exec record from before the transition no longer reflects the
+// VM's ledgers — force a full pass). Every downMask transition must go
+// through here so downCount never drifts from the mask.
+func (rs *runState) setDown(v int, down bool) {
+	if rs.downMask[v] != down {
+		if down {
+			rs.downCount++
+		} else {
+			rs.downCount--
+		}
+	}
+	rs.downMask[v] = down
+	rs.execDirty[v] = true
 }
 
 // placeLongArrivals is phase 1: place arriving long-lived jobs with the
@@ -182,6 +225,8 @@ func (rs *runState) placeLongArrivals(t int) {
 		rt.Started = t
 		rt.Allocated = need
 		st.longRunning = append(st.longRunning, rt)
+		rs.activeJobs[bestVM]++
+		rs.longActive++
 		rs.res.LongPlaced++
 	}
 }
@@ -192,7 +237,34 @@ func (rs *runState) placeLongArrivals(t int) {
 // Failed VMs report no telemetry and offer no pool. The per-VM samples are
 // independent ledger reads, so they shard across the worker budget with
 // positional writes; the surge counter merges as an order-free int sum.
+//
+// Fast path: resident demand is periodic (job.DemandAt wraps
+// t % len(Usage)), so when no surge is active and no long job is running
+// the whole per-VM computation collapses to copying two precomputed rows
+// out of the snapshot's ResidentTables — every entry of which was produced
+// by the identical DemandAt/UnusedAt calls, so the values are bit-exact.
+// Down VMs are re-zeroed from the incrementally maintained down mask. The
+// surge-hit reset/sum is skipped: with surge == nil the slow path would
+// zero every counter and add only zeros, and any later surge slot takes
+// the slow path, which resets every entry before summing, so stale hits
+// can never leak into Recovery.SurgeSlots.
 func (rs *runState) observe(t int) {
+	if rs.tables != nil && rs.surge == nil && rs.longActive == 0 {
+		tab := rs.tables
+		p := t % tab.Period
+		copy(rs.residentUse, tab.DemandRow(p))
+		copy(rs.unused, tab.UnusedRow(p))
+		if rs.downCount > 0 {
+			for v, d := range rs.downMask {
+				if d {
+					rs.unused[v] = resource.Vector{}
+					rs.residentUse[v] = resource.Vector{}
+				}
+			}
+		}
+		rs.feedObservations()
+		return
+	}
 	surge := rs.surge
 	shardIndexes(rs.workers, len(rs.vms), func(v int) {
 		st := rs.vms[v]
@@ -220,6 +292,12 @@ func (rs *runState) observe(t int) {
 			rs.res.Recovery.SurgeSlots += hit
 		}
 	}
+	rs.feedObservations()
+}
+
+// feedObservations hands the slot's unused vectors to the predictor fleet,
+// batched when the scheduler supports it.
+func (rs *runState) feedObservations() {
 	if rs.hasBatcher {
 		rs.batcher.ObserveAll(rs.unused, rs.downMask)
 	} else {
@@ -246,13 +324,13 @@ func (rs *runState) refreshWindow(t int) {
 	// predictor's compute as the increment on top (the paper: CORP's DNN
 	// "increases the latency a little"). A crashed VM answers no status
 	// probe, so it adds no round-trip to the control-plane total (see
-	// DESIGN.md §5f on skip-vs-timeout).
-	for v := range rs.vms {
-		if rs.downMask[v] {
-			continue
-		}
-		rs.res.Overhead.AddComm(rs.cl.CommLatencyMicros)
-	}
+	// DESIGN.md §5f on skip-vs-timeout). The up-VM count comes from the
+	// incrementally maintained down counter instead of an O(VMs) mask
+	// walk; AddCommRepeat performs the same repeated additions the old
+	// loop did (a single fused n×latency add would not be bit-identical
+	// once fault delays sit in the accumulator), and the adds are
+	// identical so dropping the per-VM order cannot change the sum.
+	rs.res.Overhead.AddCommRepeat(len(rs.vms)-rs.downCount, rs.cl.CommLatencyMicros)
 }
 
 // applyAdjustments re-sizes every running short job's allocation to the
@@ -365,6 +443,7 @@ func (rs *runState) placeQueued(t int) error {
 			}
 			rt.Entity = boolToInt(p.Opportunistic)
 			st.running = append(st.running, rt)
+			rs.activeJobs[p.VM]++
 			placed[spec.ID] = true
 			if rt.EvictedAt >= 0 {
 				// An evicted job found a new home: record the
@@ -399,8 +478,21 @@ func (rs *runState) placeQueued(t int) error {
 // floating-point addition is not associative, this positional-merge recipe
 // (not per-shard partial sums) is what keeps any worker count bit-identical
 // to the serial run.
+// Idle VMs — no running short or long job and no pending fault/finish
+// transition — are skipped entirely: their cached vmExecRecord from the
+// last full pass still holds exactly the values a fresh pass would produce
+// (ledger snapshots only change through placements, adjustments, finishes
+// and faults, all of which either imply activeJobs > 0 or set execDirty),
+// and the per-slot resident demand is read live from rs.residentUse in the
+// reduction rather than from the record. The reduction still walks every
+// record in VM index order, so the collector sums see identical values in
+// an identical order at any worker count.
 func (rs *runState) executeSlot(t int) {
 	shardIndexes(rs.workers, len(rs.vms), func(v int) {
+		if rs.activeJobs[v] == 0 && !rs.execDirty[v] {
+			return
+		}
+		rs.execDirty[v] = false
 		rs.executeVM(t, v)
 	})
 
@@ -418,7 +510,7 @@ func (rs *runState) executeSlot(t int) {
 			continue
 		}
 		slotClusterAlloc = slotClusterAlloc.Add(rec.reserved).Add(rec.freshInUse).Add(rec.longReserved)
-		slotClusterDemand = slotClusterDemand.Add(rec.resUse)
+		slotClusterDemand = slotClusterDemand.Add(rs.residentUse[v])
 		for _, g := range rec.longGrants {
 			slotClusterDemand = slotClusterDemand.Add(g)
 		}
@@ -431,6 +523,10 @@ func (rs *runState) executeSlot(t int) {
 			slotClusterDemand = slotClusterDemand.Add(s.granted)
 		}
 		rs.res.LongFinished += rec.longFinished
+		// rec.longFinished is non-zero only on the finishing slot's record:
+		// the finish marks the VM dirty, and the forced full pass next slot
+		// resets it to zero before the record can be reused.
+		rs.longActive -= rec.longFinished
 	}
 	rs.collector.Observe(slotAllocated, slotDemand)
 	// Cluster-wide allocation = Σ over VMs of (resident reservation +
@@ -464,12 +560,14 @@ type shortExecRec struct {
 
 // vmExecRecord is one VM's slot contribution: ledger snapshots taken before
 // job advancement plus the per-job grant sequence, in running-list order.
+// For an idle VM the record is reused verbatim across slots (see
+// executeSlot); the per-slot resident demand deliberately lives outside it,
+// read from rs.residentUse at reduction time.
 type vmExecRecord struct {
 	skip         bool
 	reserved     resource.Vector
 	freshInUse   resource.Vector
 	longReserved resource.Vector
-	resUse       resource.Vector
 	longGrants   []resource.Vector
 	longFinished int
 	shorts       []shortExecRec
@@ -492,7 +590,6 @@ func (rs *runState) executeVM(t, v int) {
 	// Ledger snapshot before completions release reservations: the
 	// monolithic loop added these before advancing any job.
 	rec.reserved, rec.freshInUse, rec.longReserved = st.reserved, st.freshInUse, st.longReserved
-	rec.resUse = rs.residentUse[v]
 
 	// Long-lived jobs run with guaranteed allocations.
 	keptLong := st.longRunning[:0]
@@ -504,6 +601,8 @@ func (rs *runState) executeVM(t, v int) {
 			rt.Finished = t
 			st.longReserved = st.longReserved.Sub(rt.Allocated).ClampNonNegative()
 			rec.longFinished++
+			rs.activeJobs[v]--
+			rs.execDirty[v] = true
 		} else {
 			keptLong = append(keptLong, rt)
 		}
@@ -543,6 +642,8 @@ func (rs *runState) executeVM(t, v int) {
 			} else {
 				st.freshInUse = st.freshInUse.Sub(rt.Allocated).ClampNonNegative()
 			}
+			rs.activeJobs[v]--
+			rs.execDirty[v] = true
 		} else {
 			finished = append(finished, rt)
 		}

@@ -124,6 +124,13 @@ type Config struct {
 	// and produce bit-identical results (see the core-equivalence tests);
 	// only the scheduling of no-op slots differs.
 	Core Core
+
+	// DisableResidentTables forces the telemetry phase onto the original
+	// per-VM recomputation instead of the snapshot's precomputed periodic
+	// tables (DESIGN.md §5i). The tables are bit-identical by
+	// construction, so this only affects wall time; it exists for the
+	// equivalence tests and A/B measurements.
+	DisableResidentTables bool
 }
 
 // Core selects the simulator's execution core.
@@ -475,6 +482,15 @@ func Run(cfg Config) (*Result, error) {
 		// volume-normalising reference once instead of rescanning every
 		// VM per candidate in the long-job placement phase.
 		maxVMCap: cl.MaxVMCapacity(),
+	}
+	if !cfg.DisableResidentTables {
+		// Periodic resident tables for the telemetry fast path, built once
+		// per snapshot and shared via the workload cache. Guarded by the
+		// VM count so a snapshot/cluster mismatch can never read the wrong
+		// rows (the key check above should already preclude it).
+		if tab := snap.Tables(); tab != nil && tab.NumVMs == len(vms) {
+			rs.tables = tab
+		}
 	}
 	rs.initScratch()
 	switch cfg.Core {

@@ -623,9 +623,16 @@ densify:
 	return fine
 }
 
-// sortInts is insertion sort; arrival lists are short and this avoids an
-// interface-heavy sort dependency in the hot generation path.
+// sortInts sorts ascending. Small lists (the paper-scale 50–300 arrivals)
+// use insertion sort; larger ones (the scale profile generates hundreds of
+// thousands of arrivals, where insertion sort's O(n²) dominated the whole
+// snapshot build) route through sort.Ints. Both produce the identical
+// sorted slice, so generated workloads are byte-for-byte unchanged.
 func sortInts(xs []int) {
+	if len(xs) > 64 {
+		sort.Ints(xs)
+		return
+	}
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
 			xs[j], xs[j-1] = xs[j-1], xs[j]

@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"repro/internal/job"
+	"repro/internal/resource"
+)
+
+// ResidentTables precomputes each resident's periodic demand and unused
+// vectors for every phase of its usage cycle. Resident demand is periodic —
+// job.DemandAt(k) wraps k % len(Usage) — so absent surges and long jobs a
+// VM's (residentUse, unused) pair at slot t depends only on t mod Period.
+// The simulator's telemetry fast path turns its per-VM vector math into two
+// row copies from these tables; because every entry is computed by the very
+// same DemandAt/UnusedAt calls the slow path would make, the values are
+// bit-identical, not merely close.
+//
+// Layout is phase-major: row p holds all VMs' vectors for phase p
+// contiguously, so a slot's fast path streams two dense rows instead of
+// striding across per-VM blocks.
+type ResidentTables struct {
+	// NumVMs is the number of residents (one per VM).
+	NumVMs int
+	// Period is the shared usage-cycle length in slots.
+	Period int
+
+	demand []resource.Vector // [p*NumVMs+v] = residents[v].DemandAt(p)
+	unused []resource.Vector // [p*NumVMs+v] = residents[v].UnusedAt(p)
+}
+
+// DemandRow returns the per-VM resident demand vectors for phase p
+// (p must already be reduced mod Period). Read-only.
+func (t *ResidentTables) DemandRow(p int) []resource.Vector {
+	return t.demand[p*t.NumVMs : (p+1)*t.NumVMs]
+}
+
+// UnusedRow returns the per-VM resident unused vectors for phase p. Read-only.
+func (t *ResidentTables) UnusedRow(p int) []resource.Vector {
+	return t.unused[p*t.NumVMs : (p+1)*t.NumVMs]
+}
+
+// Bytes returns the retained size of the tables.
+func (t *ResidentTables) Bytes() int64 {
+	const vecBytes = resource.NumKinds * 8
+	return int64(len(t.demand)+len(t.unused)) * vecBytes
+}
+
+// buildResidentTables materialises the tables for a resident population, or
+// returns nil when the population is empty or the usage cycles are not all
+// the same length (then there is no single period to tabulate).
+func buildResidentTables(residents []*job.Job) *ResidentTables {
+	if len(residents) == 0 {
+		return nil
+	}
+	period := len(residents[0].Usage)
+	if period == 0 {
+		return nil
+	}
+	for _, r := range residents {
+		if len(r.Usage) != period {
+			return nil
+		}
+	}
+	t := &ResidentTables{
+		NumVMs: len(residents),
+		Period: period,
+		demand: make([]resource.Vector, period*len(residents)),
+		unused: make([]resource.Vector, period*len(residents)),
+	}
+	for p := 0; p < period; p++ {
+		row := p * t.NumVMs
+		for v, r := range residents {
+			t.demand[row+v] = r.DemandAt(p)
+			t.unused[row+v] = r.UnusedAt(p)
+		}
+	}
+	return t
+}
+
+// Tables returns the snapshot's periodic resident tables, building them on
+// first call (guarded by a sync.Once, like the lazy history). Returns nil
+// when the resident population has no single shared period. Read-only;
+// shared by every run holding the snapshot.
+func (s *Snapshot) Tables() *ResidentTables {
+	s.tabOnce.Do(func() {
+		s.tables = buildResidentTables(s.residents)
+		if s.tables != nil {
+			s.tabBytes.Store(s.tables.Bytes())
+		}
+	})
+	return s.tables
+}

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/job"
 	"repro/internal/resource"
@@ -149,6 +150,10 @@ type Snapshot struct {
 	history  []*job.Job
 	histErr  error
 
+	tabOnce  sync.Once
+	tables   *ResidentTables
+	tabBytes atomic.Int64
+
 	bytes int64
 }
 
@@ -222,9 +227,9 @@ func (s *Snapshot) History() ([]*job.Job, int, error) {
 }
 
 // Bytes returns the approximate payload size of the generated traces
-// (usage series plus spec overhead), excluding the lazy history until it
-// has been generated.
-func (s *Snapshot) Bytes() int64 { return s.bytes }
+// (usage series plus spec overhead), excluding the lazy history and
+// resident tables until they have been generated.
+func (s *Snapshot) Bytes() int64 { return s.bytes + s.tabBytes.Load() }
 
 // jobsBytes approximates the retained size of a generated job population.
 func jobsBytes(jobs []*job.Job) int64 {
