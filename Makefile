@@ -56,7 +56,9 @@ scale-smoke:
 
 # profile-scale captures pprof CPU+heap profiles of the scale-profile
 # single run (scale/sim-scale5k-rccr only, via -bench-filter — no other
-# bench or its setup runs). Inspect with `go tool pprof cpu-scale.pprof`.
+# bench or its setup runs). -bench-filter also takes a comma-separated
+# list (e.g. "scale/,sim/span") to profile several groups in one run.
+# Inspect with `go tool pprof cpu-scale.pprof`.
 # This is where every scale-profile optimisation starts; see EXPERIMENTS.md.
 profile-scale:
 	$(GO) run ./cmd/corpbench -json -bench-filter scale/sim-scale5k-rccr-w1 \

@@ -27,7 +27,8 @@
 //	-bench-diff compare two snapshots "old.json,new.json"; non-zero exit
 //	            on >10% ns/op regression in the DNN kernels
 //	-bench-tol  fractional regression tolerance for -bench-diff (default 0.10)
-//	-bench-filter with -json, run only benches whose name contains this substring
+//	-bench-filter with -json, run only benches whose name contains one of
+//	            these comma-separated substrings (e.g. "scale/,sim/span")
 //	-cpuprofile write a pprof CPU profile of the run to the given file
 //	-memprofile write a pprof heap profile at exit to the given file
 //
@@ -39,6 +40,7 @@
 //	corpbench -bench-diff BENCH_old.json,BENCH_new.json
 //	corpbench -fig fig06 -cpuprofile cpu.out
 //	corpbench -json -bench-filter scale/sim-scale5k -cpuprofile cpu.pprof -out /tmp/scale.json
+//	corpbench -json -bench-filter scale/,sim/span -out /tmp/groups.json
 package main
 
 import (
@@ -79,7 +81,7 @@ func run(args []string, out io.Writer) error {
 	benchJSON := fs.Bool("json", false, "run the perf benchmark suite and write a JSON snapshot")
 	benchOut := fs.String("out", "", "snapshot path for -json (default BENCH_<date>.json)")
 	benchQuick := fs.Bool("bench-quick", false, "with -json, skip the end-to-end figure bench")
-	benchFilter := fs.String("bench-filter", "", "with -json, run only benches whose name contains this substring")
+	benchFilter := fs.String("bench-filter", "", "with -json, run only benches whose name contains one of these comma-separated substrings")
 	benchDiff := fs.String("bench-diff", "", "compare two snapshots \"old.json,new.json\"")
 	benchTol := fs.Float64("bench-tol", 0.10, "fractional ns/op regression tolerance for -bench-diff")
 	cpuProfile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")

@@ -254,7 +254,31 @@ func (r *Runtime) SLOViolated() bool {
 // unavailability turns into response-time (and hence SLO) damage.
 // It returns the progress made this slot.
 func (r *Runtime) Advance(granted resource.Vector) float64 {
-	demand := r.Spec.DemandAt(r.Slots)
+	return r.AdvanceWith(granted, r.Spec.DemandAt(r.Slots))
+}
+
+// AdvanceWith is Advance for callers that already hold this slot's demand
+// (it must equal Spec.DemandAt(r.Slots)); the simulator's execute path
+// looks the demand up once per job-slot and reuses it for grant scaling
+// and advancement.
+func (r *Runtime) AdvanceWith(granted, demand resource.Vector) float64 {
+	rate := ProgressRate(granted, demand)
+	r.Progress += rate
+	r.Slots++
+	return rate
+}
+
+// ProgressRate is the slot progress Advance applies for the given grant:
+// min over resource kinds of granted/demanded, capped at 1 and floored at
+// 0, with zero-demand kinds imposing no constraint. The fully-granted fast
+// path is exact, not approximate: when granted equals demand bitwise,
+// every positive kind divides to exactly 1.0 (x/x == 1 for any finite
+// positive x) and non-positive kinds are skipped, so the loop would return
+// exactly 1.
+func ProgressRate(granted, demand resource.Vector) float64 {
+	if granted == demand {
+		return 1
+	}
 	rate := 1.0
 	for _, k := range resource.Kinds() {
 		d := demand.At(k)
@@ -269,7 +293,5 @@ func (r *Runtime) Advance(granted resource.Vector) float64 {
 	if rate < 0 {
 		rate = 0
 	}
-	r.Progress += rate
-	r.Slots++
 	return rate
 }

@@ -90,10 +90,12 @@ type FarmStats struct {
 // isolated slot-observe benches at 2× — they walk a 20000-VM fleet per op,
 // so box weather moves them more than a µs kernel, while the regression
 // they guard (the table fast path silently degrading to recomputation) is
-// a 13× cliff no tolerance hides; the scale/* end-to-end single runs at a
-// much wider band — they are the tentpole numbers this repo's perf work
-// protects, but a whole 50k-slot-phase simulation on a shared box needs
-// headroom for cache/GC weather a microbench doesn't see. Other end-to-end
+// a 13× cliff no tolerance hides; the span-fastforward A/B pair likewise
+// at 2× (the off entry keeps the escape hatch honest); the scale/* end-to-
+// end single runs at a wider band — they are the tentpole numbers this
+// repo's perf work protects, but a whole end-to-end simulation on a shared
+// box needs headroom for cache/GC weather a microbench doesn't see (the
+// band tightened from 3.5× as the runs got shorter). Other end-to-end
 // benches (figure runs, farm campaigns) are recorded but not gated.
 var nsGates = []struct {
 	prefix string
@@ -103,7 +105,8 @@ var nsGates = []struct {
 	{"hmm/", 1},
 	{"trace/", 1},
 	{"sim/slot-observe-", 2},
-	{"scale/", 3.5},
+	{"sim/span-fastforward-", 2},
+	{"scale/", 3},
 }
 
 // nsGateTol returns the gate tolerance for name, or 0 if ungated.
@@ -164,12 +167,13 @@ func tableIINet(seed int64) (*dnn.Network, []float64, []float64) {
 // time.
 func Suite(quick bool) (snap Snapshot) { return SuiteFiltered(quick, "") }
 
-// SuiteFiltered is Suite restricted to benches whose name contains filter
-// (empty runs everything). Shared setup — workload preparation for the
-// core and scale bench groups — is skipped when no bench in the group
-// matches, so e.g. `corpbench -bench-filter scale/sim-scale5k` pays only
-// the scale profile's own preparation; that is what makes profiling a
-// single bench (`make profile-scale`) practical.
+// SuiteFiltered is Suite restricted to benches whose name contains any of
+// the comma-separated filter terms (empty runs everything). Shared setup —
+// workload preparation for the core and scale bench groups — is skipped
+// when no bench in the group matches, so e.g. `corpbench -bench-filter
+// scale/sim-scale5k` pays only the scale profile's own preparation; that
+// is what makes profiling a single bench (`make profile-scale`) practical,
+// and `-bench-filter scale/,sim/span` compares two groups in one run.
 func SuiteFiltered(quick bool, filter string) (snap Snapshot) {
 	snap = Snapshot{GoVersion: runtime.Version(), GOARCH: runtime.GOARCH, MaxProcs: runtime.GOMAXPROCS(0)}
 	// Track snapshot-cache effectiveness over this suite run only; the
@@ -179,13 +183,21 @@ func SuiteFiltered(quick bool, filter string) (snap Snapshot) {
 		st := workload.Default.Stats()
 		snap.WorkloadCache = &st
 	}()
+	var terms []string
+	for _, f := range strings.Split(filter, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			terms = append(terms, f)
+		}
+	}
 	matchesAny := func(names ...string) bool {
-		if filter == "" {
+		if len(terms) == 0 {
 			return true
 		}
 		for _, n := range names {
-			if strings.Contains(n, filter) {
-				return true
+			for _, f := range terms {
+				if strings.Contains(n, f) {
+					return true
+				}
 			}
 		}
 		return false
@@ -504,6 +516,34 @@ func SuiteFiltered(quick bool, filter string) (snap Snapshot) {
 		add("sim/event-core-wmax", coreBench(sim.CoreEvent, runtime.GOMAXPROCS(0)))
 		add("sim/slot-core-w1", coreBench(sim.CoreSlot, 1))
 	}
+	// Quiescent-span fast-forward A/B: the same quiet-heavy run — a short
+	// arrival burst, then a drain hundreds of slots long with nothing in
+	// flight — with the fast-forward on (default) and forced off. Results
+	// are bit-identical (TestSpanFastForwardEquivalence); the ratio is the
+	// time-axis win on event-sparse stretches, the regime the fast-forward
+	// exists for. Both are ns-gated so neither the fast path nor the
+	// escape-hatch slow path silently regresses.
+	if matchesAny("sim/span-fastforward-on", "sim/span-fastforward-off") {
+		snapshot, err := sim.PrepareWorkload(spanBenchConfig(false))
+		if err != nil {
+			panic(fmt.Sprintf("perf: prepare span bench workload: %v", err))
+		}
+		spanBench := func(disable bool) func(b *testing.B) {
+			return func(b *testing.B) {
+				cfg := spanBenchConfig(disable)
+				cfg.Prepared = snapshot
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := sim.Run(cfg); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		add("sim/span-fastforward-on", spanBench(false))
+		add("sim/span-fastforward-off", spanBench(true))
+	}
 	// Isolated telemetry-phase benches over the 20000-VM scale fleet:
 	// the periodic-table fast path versus the per-VM recomputation it
 	// replaces on quiet slots (identical outputs — the table-equivalence
@@ -781,6 +821,21 @@ func quickWorkloadParams() workload.Params {
 		VMCaps:    caps,
 		Residents: trace.ResidentConfig{Seed: 1, Horizon: 300, ReservedShare: 0.6},
 		Jobs:      trace.Config{Seed: 1, NumJobs: 300, ArrivalSpan: 60, VMCapacity: resource.Vector{4, 16, 180}},
+	}
+}
+
+// spanBenchConfig is the sim/span-fastforward-* run: a 200-VM fleet whose
+// 150 short jobs all arrive inside 10 slots and finish early, leaving a
+// 400-slot drain where the event queue holds nothing but telemetry and
+// refresh ticks — maximal quiescent-span surface.
+func spanBenchConfig(disable bool) sim.Config {
+	return sim.Config{
+		NumPMs: 50, NumVMs: 200, NumJobs: 150, Seed: 1,
+		Warmup: 20, ArrivalSpan: 10, Drain: 400,
+		Scheduler:              scheduler.Config{Scheme: scheduler.RCCR, Seed: 1},
+		Clock:                  &sim.VirtualClock{StepMicros: 50},
+		Workers:                1,
+		DisableSpanFastForward: disable,
 	}
 }
 

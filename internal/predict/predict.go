@@ -168,15 +168,13 @@ func (t *tracker) observe(actual resource.Vector) {
 }
 
 // recentMean returns the element-wise mean of the last n observed samples
-// (fewer if history is shorter).
+// (fewer if history is shorter). Window.TailMean folds the ring tail in the
+// same oldest-first order the old full linearization did, so the result is
+// bit-identical without copying the whole history per maturation.
 func (t *tracker) recentMean(n int) resource.Vector {
 	var out resource.Vector
 	for k := range t.hist {
-		vals := t.histValues(resource.Kind(k))
-		if len(vals) > n {
-			vals = vals[len(vals)-n:]
-		}
-		out[k] = stats.Mean(vals)
+		out[k] = t.hist[k].TailMean(n)
 	}
 	return out
 }

@@ -137,20 +137,22 @@ func (v Vector) Div(o Vector) Vector {
 	return out
 }
 
-// Min returns the element-wise minimum.
+// Min returns the element-wise minimum. The builtin min matches math.Min
+// for every input (NaN propagation, -0 ordered below +0) without the call
+// overhead on this hot path.
 func (v Vector) Min(o Vector) Vector {
 	var out Vector
 	for i := range v {
-		out[i] = math.Min(v[i], o[i])
+		out[i] = min(v[i], o[i])
 	}
 	return out
 }
 
-// Max returns the element-wise maximum.
+// Max returns the element-wise maximum (builtin max; see Min).
 func (v Vector) Max(o Vector) Vector {
 	var out Vector
 	for i := range v {
-		out[i] = math.Max(v[i], o[i])
+		out[i] = max(v[i], o[i])
 	}
 	return out
 }
@@ -173,7 +175,7 @@ func (v Vector) ClampNonNegative() Vector {
 func (v Vector) ClampTo(ceiling Vector) Vector {
 	var out Vector
 	for i := range v {
-		out[i] = math.Min(math.Max(v[i], 0), ceiling[i])
+		out[i] = min(max(v[i], 0), ceiling[i])
 	}
 	return out
 }

@@ -26,6 +26,16 @@ type BatchObserver interface {
 	ObserveAll(actualUnused []resource.Vector, skip []bool)
 }
 
+// SpanObserver is implemented by schedulers that can ingest several
+// consecutive slots' observations in one call. rows[s][i] is VM i's sample
+// for the s-th slot of the span; semantics are identical to calling
+// ObserveAll(rows[s], skip) for s = 0, 1, ... in order. The simulator's
+// quiescent-span fast-forward uses this to feed k slots of periodic
+// resident telemetry without re-entering the per-slot dispatch.
+type SpanObserver interface {
+	ObserveSpan(rows [][]resource.Vector, skip []bool)
+}
+
 // observeChunk is how many consecutive indices one work-stealing grab
 // covers: large enough to amortize the atomic, small enough to balance
 // uneven per-VM costs (HMM refits, signature refreshes).
@@ -272,6 +282,40 @@ func (b *base) ObserveAll(actualUnused []resource.Vector, skip []bool) {
 			if s := b.sharded[i]; s != nil {
 				s.FlushShared(kind)
 			}
+		}
+	})
+}
+
+// ObserveSpan implements SpanObserver. For a fleet of independent
+// predictors the span is fed VM-major: one parallel pass hands each
+// predictor its k samples back to back (better cache locality than k
+// slot-major sweeps, and one work-stealing dispatch instead of k). Each
+// predictor's own observation sequence is unchanged, and predictors share
+// no state, so the result is bit-identical to k ObserveAll calls.
+//
+// A sharded fleet (the CORP brain) is the exception: FlushShared calls for
+// one kind must stay serialized slot-major in VM order, and ObserveLocal
+// stages exactly one pending sample, so the span falls back to per-slot
+// ObserveAll — the shared training stream is order-sensitive and the
+// per-slot dispatch is what guarantees its order.
+func (b *base) ObserveSpan(rows [][]resource.Vector, skip []bool) {
+	if len(rows) == 0 {
+		return
+	}
+	if b.anySharded {
+		for _, row := range rows {
+			b.ObserveAll(row, skip)
+		}
+		return
+	}
+	parallelFor(b.workers, len(b.preds), func(i int) {
+		if skip != nil && skip[i] {
+			return
+		}
+		b.dirty[i] = true
+		p := b.preds[i]
+		for _, row := range rows {
+			p.Observe(row[i])
 		}
 	})
 }

@@ -45,7 +45,7 @@ func fitScan(q0, q1, q2 []float64, d0, d1, d2 float64, out []int32) []int32 {
 	}
 	blocks := n / 8
 	buf := out[:n]
-	cnt := int(fitScanAVX512(&q0[0], &q1[0], &q2[0], blocks, d0, d1, d2, &buf[0]))
+	cnt := int(fitScanAVX512(&q0[0], &q1[0], &q2[0], blocks, d0, d1, d2, &buf[0], 0))
 	out = buf[:cnt]
 	t := blocks * 8
 	return fitScanGeneric(q0[t:n], q1[t:n], q2[t:n], d0, d1, d2, out, int32(t))

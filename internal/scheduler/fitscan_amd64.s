@@ -23,12 +23,15 @@ DATA eights32<>+24(SB)/4, $8
 DATA eights32<>+28(SB)/4, $8
 GLOBL eights32<>(SB), RODATA|NOPTR, $32
 
-// func fitScanAVX512(q0, q1, q2 *float64, blocks int, d0, d1, d2 float64, out *int32) int32
+// func fitScanAVX512(q0, q1, q2 *float64, blocks int, d0, d1, d2 float64, out *int32, base int32) int32
 //
 // Per 8-lane block: K1..K3 = (d_k > q_k[i]) via VCMPPD GT_OQ — the exact
 // ordered greater-than Go's > compiles to — OR'd into one fail mask, then
 // complemented, and the surviving lane indices compress-stored ascending.
-TEXT ·fitScanAVX512(SB), NOSPLIT, $0-68
+// base offsets the emitted indices so the kernel can scan with the output
+// indices shifted (callers scanning a packed subset translate positions
+// themselves and pass base 0).
+TEXT ·fitScanAVX512(SB), NOSPLIT, $0-76
 	MOVQ q0+0(FP), R8
 	MOVQ q1+8(FP), R9
 	MOVQ q2+16(FP), R10
@@ -40,6 +43,9 @@ TEXT ·fitScanAVX512(SB), NOSPLIT, $0-68
 	MOVQ DI, BX
 	VMOVDQU iota32<>(SB), Y7
 	VMOVDQU eights32<>(SB), Y8
+	MOVL base+64(FP), AX
+	VPBROADCASTD AX, Y9
+	VPADDD Y9, Y7, Y7
 
 loop:
 	VMOVUPD (R8), Z4
@@ -64,7 +70,7 @@ loop:
 
 	SUBQ BX, DI
 	SHRQ $2, DI
-	MOVL DI, ret+64(FP)
+	MOVL DI, ret+72(FP)
 	VZEROUPPER
 	RET
 

@@ -633,7 +633,18 @@ type randomScheduler struct {
 	soaFresh  [resource.NumKinds][]float64
 	soaOppQ   [resource.NumKinds][]float64
 	soaFreshQ [resource.NumKinds][]float64
-	arena     placementArena
+	// susOpp/susFresh are the per-pool suspect indexes (suspect.go): on
+	// large fleets most lanes provably fit the typical demand, so the
+	// per-job kernel scan runs over the packed suspect lanes only. susT
+	// is the call's gate threshold; demandScratch/quantScratch are the
+	// per-call demand precompute buffers.
+	susOpp        suspectIndex
+	susFresh      suspectIndex
+	susT          [resource.NumKinds]float64
+	susOn         bool
+	demandScratch [][resource.NumKinds]float64
+	quantScratch  []float64
+	arena         placementArena
 }
 
 func (s *randomScheduler) Name() string { return s.name }
@@ -687,23 +698,41 @@ func poolAt(pool *[resource.NumKinds][]float64, i int) resource.Vector {
 func (s *randomScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 	s.buildSoAPools(views)
 	s.arena.reset()
+	s.susOpp.reset()
+	s.susFresh.reset()
+	// Precompute the call's demands and the suspect gate threshold. The
+	// indexes themselves build lazily: the fresh one often never does
+	// (the opportunistic pool fits nearly every job at scale).
+	s.susOn = len(views) >= suspectMinLanes && len(jobs) > 0
+	if s.susOn {
+		if cap(s.demandScratch) < len(jobs) {
+			s.demandScratch = make([][resource.NumKinds]float64, len(jobs))
+		}
+		s.demandScratch = s.demandScratch[:len(jobs)]
+		for i, j := range jobs {
+			s.demandScratch[i] = padStorage(j.PeakDemand()).Scale(s.allocFactor * s.tight)
+		}
+		s.susT = demandQuantile(s.demandScratch, s.quantScratch)
+	}
 	for _, j := range jobs {
 		alloc := padStorage(j.PeakDemand()).Scale(s.allocFactor * s.tight)
-		if vm, ok := s.randomFit(alloc, &s.soaOppQ); ok {
+		if vm, ok := s.randomFit(alloc, &s.soaOppQ, &s.susOpp); ok {
 			p := poolAt(&s.soaOpp, vm).Sub(alloc).ClampNonNegative()
 			for k := 0; k < resource.NumKinds; k++ {
 				s.soaOpp[k][vm] = p[k]
 				s.soaOppQ[k][vm] = p[k] + fitEps
 			}
+			s.susOpp.noteUpdate(&s.soaOppQ, vm)
 			s.arena.add(j, alloc, vm, true)
 			continue
 		}
-		if vm, ok := s.randomFit(alloc, &s.soaFreshQ); ok {
+		if vm, ok := s.randomFit(alloc, &s.soaFreshQ, &s.susFresh); ok {
 			p := poolAt(&s.soaFresh, vm).Sub(alloc).ClampNonNegative()
 			for k := 0; k < resource.NumKinds; k++ {
 				s.soaFresh[k][vm] = p[k]
 				s.soaFreshQ[k][vm] = p[k] + fitEps
 			}
+			s.susFresh.noteUpdate(&s.soaFreshQ, vm)
 			s.arena.add(j, alloc, vm, false)
 		}
 	}
@@ -711,12 +740,22 @@ func (s *randomScheduler) Place(jobs []*job.Job, views []VMView) []Placement {
 }
 
 // randomFit returns a uniformly random up-VM index whose pool satisfies
-// demand. The scan (fitscan.go) evaluates exactly resource.Vector.FitsIn
-// over the precomputed pool+eps arrays — !(demand > pool+eps) per kind —
-// so the candidate set, its order, and the single rng.Intn draw per
-// successful call are bit-identical to the AoS implementation it replaced,
-// whether the vector kernel or the scalar loop runs it.
-func (s *randomScheduler) randomFit(demand resource.Vector, q *[resource.NumKinds][]float64) (int, bool) {
+// demand. Both paths — the suspect index over packed suspect lanes and the
+// flat scan over every lane — evaluate exactly resource.Vector.FitsIn over
+// the precomputed pool+eps arrays, !(demand > pool+eps) per kind, so the
+// candidate count, the single rng.Intn draw per successful call, and the
+// selected lane are bit-identical to the AoS implementation they replaced.
+func (s *randomScheduler) randomFit(demand resource.Vector, q *[resource.NumKinds][]float64, sus *suspectIndex) (int, bool) {
+	if s.susOn && demand[0] <= s.susT[0] && demand[1] <= s.susT[1] && demand[2] <= s.susT[2] {
+		if !sus.built {
+			sus.build(q, s.susT)
+		}
+		count := sus.scan(q, demand[0], demand[1], demand[2])
+		if count == 0 {
+			return 0, false
+		}
+		return sus.selectNth(s.rng.Intn(count)), true
+	}
 	s.fits = fitScan(q[0], q[1], q[2], demand[0], demand[1], demand[2], s.fits)
 	if len(s.fits) == 0 {
 		return 0, false

@@ -37,6 +37,7 @@ func TestAdjustFreshGrowthRespectsLongReservations(t *testing.T) {
 		freshInUse:   one(1),
 		running:      []*job.Runtime{rt},
 	}
+	st.rebuildHot()
 
 	applyAdjustments([]*vmState{st}, growAdjuster{want: one(6)})
 
@@ -58,6 +59,7 @@ func TestAdjustFreshGrowthRespectsLongReservations(t *testing.T) {
 	opp.Allocated = one(1)
 	opp.Entity = 1
 	stOpp := &vmState{capacity: one(10), reserved: one(4), oppInUse: one(1), running: []*job.Runtime{opp}}
+	stOpp.rebuildHot()
 	applyAdjustments([]*vmState{stOpp}, growAdjuster{want: one(6)})
 	if want := one(6); opp.Allocated != want {
 		t.Errorf("opportunistic adjusted allocation = %v, want %v", opp.Allocated, want)

@@ -7,15 +7,17 @@ package sim
 // carry no arrival/retry/placement events, and the queue is empty the
 // moment the horizon is reached.
 //
-// Two event kinds still re-arm themselves every slot: telemetry (the
-// synthetic resident traces fluctuate every slot, and the predictors'
-// state advances per observation, so skipping a quiet slot would change
-// every downstream forecast) and execute (per-slot grant scaling and the
-// collectors' per-slot sums). A piecewise-constant trace source could
-// re-arm both sparsely at its change points without touching the loop —
-// that is the point of the decomposition. Everything else fires only when
-// there is work: faults only under an injector, refreshes once per window,
-// arrivals/retries at their due times, placements only while jobs queue.
+// Two event kinds still recur every slot: telemetry (the synthetic
+// resident traces fluctuate every slot, and the predictors' state advances
+// per observation, so skipping a quiet slot would change every downstream
+// forecast) and execute (per-slot grant scaling and the collectors'
+// per-slot sums). The execute handler — the last phase of a slot — arms
+// both for the next slot, and when the fleet is quiescent and the next
+// real event is k > 1 slots away it first replays the whole span in one
+// tight loop (span.go) and arms them at the span's end instead.
+// Everything else fires only when there is work: faults only under an
+// injector, refreshes once per window, arrivals/retries at their due
+// times, placements only while jobs queue.
 
 // eventKind orders same-timestamp events. The numeric order IS the phase
 // order of the slot loop, so processing a slot's events in (time, kind)
@@ -97,11 +99,15 @@ func (q *eventQueue) HasPendingEvents() bool { return len(q.items) > 0 }
 // be called on an empty queue.
 func (q *eventQueue) PeekNextEventTime() int { return q.items[0].time }
 
-// pop removes and returns the earliest event.
+// pop removes and returns the earliest event. The vacated tail element is
+// zeroed before the shrink so popped events don't linger in the backing
+// array across long runs (and so scans of q.items can never observe a
+// stale entry past the live length).
 func (q *eventQueue) pop() event {
 	top := q.items[0]
 	last := len(q.items) - 1
 	q.items[0] = q.items[last]
+	q.items[last] = event{}
 	q.items = q.items[:last]
 	n := len(q.items)
 	i := 0
@@ -169,8 +175,10 @@ func (rs *runState) processNextEvent() error {
 			rs.events.Push(maxSlot(rs.longRuntimes[rs.nextLong].Arrival, t+1), evLongArrival, 0)
 		}
 	case evTelemetry:
+		// Re-armed by the evExecute handler together with the next
+		// execute event, so a quiescent-span fast-forward can move both
+		// past the span in one decision.
 		rs.observe(t)
-		rs.events.Push(t+1, evTelemetry, 0)
 	case evRefresh:
 		rs.refreshWindow(t)
 		rs.events.Push(t+rs.window, evRefresh, 0)
@@ -201,9 +209,25 @@ func (rs *runState) processNextEvent() error {
 		}
 	case evExecute:
 		rs.executeSlot(t)
-		rs.events.Push(t+1, evExecute, 0)
+		rs.armSlot(t + 1)
 	}
 	return nil
+}
+
+// armSlot schedules slot t's telemetry and execute events. evExecute is
+// the last phase of a slot, so at call time every remaining queued event
+// is a *real* event (arrival, retry, fault draw, refresh, long-job
+// transition) at time ≥ t; if the earliest of them is more than one slot
+// away and the fleet is quiescent, the whole span of no-op slots is
+// replayed in one tight loop first and the per-slot events re-arm at the
+// span's end.
+func (rs *runState) armSlot(t int) {
+	if end := rs.spanEnd(t); end > t {
+		rs.fastForwardSpan(t, end)
+		t = end
+	}
+	rs.events.Push(t, evTelemetry, 0)
+	rs.events.Push(t, evExecute, 0)
 }
 
 // armPlace schedules a placement pass at slot t, deduplicating so at most

@@ -169,3 +169,28 @@ func FuzzArmPlaceDedup(f *testing.F) {
 		}
 	})
 }
+
+// TestEventQueuePopClearsTail is the retention regression for pop: the
+// vacated tail slot must be zeroed before the shrink, so long-lived queues
+// don't pin popped events in the backing array (and so any scan of the
+// full backing storage can never observe a stale entry past the live
+// length).
+func TestEventQueuePopClearsTail(t *testing.T) {
+	var q eventQueue
+	for i := 0; i < 64; i++ {
+		q.Push(i, evExecute, i)
+	}
+	backing := q.items[:cap(q.items)]
+	for i := 0; q.HasPendingEvents(); i++ {
+		e := q.pop()
+		if e.time != i {
+			t.Fatalf("pop %d: time %d", i, e.time)
+		}
+		for j := len(q.items); j < len(backing); j++ {
+			if backing[j] != (event{}) {
+				t.Fatalf("after pop %d: backing[%d] = %+v still live past len %d",
+					i, j, backing[j], len(q.items))
+			}
+		}
+	}
+}

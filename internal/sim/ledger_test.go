@@ -40,6 +40,9 @@ func TestClusterUtilizationCountsFreshOnce(t *testing.T) {
 		{capacity: one(8), reserved: one(2), freshInUse: one(3), running: []*job.Runtime{fresh}},
 		{capacity: one(8), reserved: one(2), oppInUse: one(1), running: []*job.Runtime{opp}},
 	}
+	for _, st := range vms {
+		st.rebuildHot()
+	}
 
 	cl, err := cluster.New(cluster.Config{NumPMs: 1, NumVMs: 2})
 	if err != nil {

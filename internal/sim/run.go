@@ -50,15 +50,34 @@ type runState struct {
 	outcomes         []predict.ErrorSample
 
 	// Per-slot scratch, hoisted so the hot path does not reallocate.
-	surge       []float64
-	unused      []resource.Vector
-	residentUse []resource.Vector
-	downMask    []bool
-	surgeHits   []int
-	views       []scheduler.VMView
-	batcher     scheduler.BatchObserver
-	hasBatcher  bool
-	exec        []vmExecRecord
+	// unused/residentUse are copy-on-write: on quiescent table slots they
+	// alias the snapshot's resident-table rows directly (strictly
+	// read-only — see the aliasing contract on workload.ResidentTables),
+	// and any path that must write per-VM entries first re-points them at
+	// the run-owned backing buffers below.
+	surge            []float64
+	unused           []resource.Vector
+	residentUse      []resource.Vector
+	unusedOwned      []resource.Vector
+	residentUseOwned []resource.Vector
+	downMask         []bool
+	surgeHits        []int
+	views            []scheduler.VMView
+	batcher          scheduler.BatchObserver
+	hasBatcher       bool
+	spanObs          scheduler.SpanObserver
+	hasSpanObs       bool
+	exec             []vmExecRecord
+	spanRows         [][]resource.Vector
+	// pendingScratch is placeQueued's reused spec-offer buffer. byID maps
+	// every short job's ID to its runtime, built once per run; dupIDs
+	// falls placeQueued back to a per-slot queue-only map (dupScratch)
+	// when explicit specs carry duplicate IDs, preserving the historical
+	// last-queued-wins lookup.
+	pendingScratch []*job.Job
+	byID           map[job.ID]*job.Runtime
+	dupScratch     map[job.ID]*job.Runtime
+	dupIDs         bool
 
 	// Activity-proportional fast-path state (DESIGN.md §5i). tables holds
 	// the snapshot's precomputed periodic resident vectors (nil disables
@@ -71,8 +90,13 @@ type runState struct {
 	tables     *workload.ResidentTables
 	downCount  int
 	longActive int
-	activeJobs []int32
-	execDirty  []bool
+	// shortActive counts running short jobs fleet-wide: incremented at
+	// placement, decremented through the execute reduction's
+	// rec.shortFinished replay and the fault-eviction path. The span
+	// fast-forward's quiescence check reads it instead of scanning VMs.
+	shortActive int
+	activeJobs  []int32
+	execDirty   []bool
 
 	// Event-core state; unused by the slot loop.
 	useEvents    bool
@@ -85,6 +109,8 @@ func (rs *runState) initScratch() {
 	n := len(rs.vms)
 	rs.unused = make([]resource.Vector, n)
 	rs.residentUse = make([]resource.Vector, n)
+	rs.unusedOwned = rs.unused
+	rs.residentUseOwned = rs.residentUse
 	rs.downMask = make([]bool, n)
 	rs.surgeHits = make([]int, n)
 	rs.views = make([]scheduler.VMView, n)
@@ -97,7 +123,18 @@ func (rs *runState) initScratch() {
 		rs.execDirty[v] = true
 	}
 	rs.batcher, rs.hasBatcher = rs.sched.(scheduler.BatchObserver)
+	rs.spanObs, rs.hasSpanObs = rs.sched.(scheduler.SpanObserver)
 	rs.placeArmedAt = -1
+	rs.byID = make(map[job.ID]*job.Runtime, len(rs.runtimes))
+	for _, rt := range rs.runtimes {
+		if _, dup := rs.byID[rt.Spec.ID]; dup {
+			rs.dupIDs = true
+		}
+		rs.byID[rt.Spec.ID] = rt
+	}
+	if rs.dupIDs {
+		rs.dupScratch = make(map[job.ID]*job.Runtime)
+	}
 }
 
 // runSlotLoop is the original fixed-tick core: every phase is offered every
@@ -163,8 +200,10 @@ func (rs *runState) advanceFaults(t int) {
 		// guaranteed reservations return to the pool.
 		res.LongFailed += len(st.longRunning)
 		rs.longActive -= len(st.longRunning)
+		rs.shortActive -= len(st.running)
 		rs.activeJobs[v] = 0
 		st.running = nil
+		st.hot = nil
 		st.longRunning = nil
 		st.freshInUse = resource.Vector{}
 		st.oppInUse = resource.Vector{}
@@ -252,9 +291,20 @@ func (rs *runState) observe(t int) {
 	if rs.tables != nil && rs.surge == nil && rs.longActive == 0 {
 		tab := rs.tables
 		p := t % tab.Period
-		copy(rs.residentUse, tab.DemandRow(p))
-		copy(rs.unused, tab.UnusedRow(p))
-		if rs.downCount > 0 {
+		if rs.downCount == 0 {
+			// Copy-on-write: no entry needs patching, so the scratch
+			// slices alias the (read-only) table rows directly instead of
+			// copying 2×NumVMs vectors. Every downstream consumer —
+			// predictor feeds, the execute reduction, timeline snapshots —
+			// only reads them; any writing path below re-points the
+			// slices at the run-owned buffers first.
+			rs.residentUse = tab.DemandRow(p)
+			rs.unused = tab.UnusedRow(p)
+		} else {
+			rs.residentUse = rs.residentUseOwned
+			rs.unused = rs.unusedOwned
+			copy(rs.residentUse, tab.DemandRow(p))
+			copy(rs.unused, tab.UnusedRow(p))
 			for v, d := range rs.downMask {
 				if d {
 					rs.unused[v] = resource.Vector{}
@@ -265,6 +315,8 @@ func (rs *runState) observe(t int) {
 		rs.feedObservations()
 		return
 	}
+	rs.residentUse = rs.residentUseOwned
+	rs.unused = rs.unusedOwned
 	surge := rs.surge
 	shardIndexes(rs.workers, len(rs.vms), func(v int) {
 		st := rs.vms[v]
@@ -342,8 +394,12 @@ func applyAdjustments(vms []*vmState, adj scheduler.Adjuster) {
 		if st.down {
 			continue
 		}
-		for _, rt := range st.running {
-			newAlloc, changed := adj.AdjustAlloc(rt.Spec, rt.Spec.DemandAt(rt.Slots))
+		for i, rt := range st.running {
+			// The hot entry carries the live slot counter and shadows the
+			// allocation; the runtime's Slots is only synced at finish, so
+			// the demand lookup must go through the hot index.
+			h := &st.hot[i]
+			newAlloc, changed := adj.AdjustAlloc(rt.Spec, h.d)
 			if !changed {
 				continue
 			}
@@ -359,6 +415,7 @@ func applyAdjustments(vms []*vmState, adj scheduler.Adjuster) {
 				st.freshInUse = st.freshInUse.Sub(rt.Allocated).ClampNonNegative().Add(newAlloc)
 			}
 			rt.Allocated = newAlloc
+			h.alloc = newAlloc
 		}
 	}
 }
@@ -410,16 +467,25 @@ func (rs *runState) placeQueued(t int) error {
 			OppInUse:       st.oppInUse,
 		}
 	}
-	pending := make([]*job.Job, len(rs.queue))
-	byID := make(map[job.ID]*job.Runtime, len(rs.queue))
+	if cap(rs.pendingScratch) < len(rs.queue) {
+		rs.pendingScratch = make([]*job.Job, len(rs.queue))
+	}
+	pending := rs.pendingScratch[:len(rs.queue)]
+	byID := rs.byID
+	if rs.dupIDs {
+		clear(rs.dupScratch)
+		byID = rs.dupScratch
+	}
 	for i, rt := range rs.queue {
 		pending[i] = rt.Spec
-		byID[rt.Spec.ID] = rt
+		if rs.dupIDs {
+			byID[rt.Spec.ID] = rt
+		}
 	}
 	start := rs.clk.Now()
 	placements := rs.sched.Place(pending, rs.views)
 	res.Overhead.AddCompute(rs.clk.Now() - start)
-	placed := make(map[job.ID]bool)
+	anyPlaced := false
 	for _, p := range placements {
 		res.Overhead.AddComm(rs.cl.CommLatencyMicros)
 		if len(p.Allocs) != len(p.Jobs) {
@@ -429,6 +495,9 @@ func (rs *runState) placeQueued(t int) error {
 			rt := byID[spec.ID]
 			if rt == nil {
 				return fmt.Errorf("sim: scheduler placed unknown job %d", spec.ID)
+			}
+			if rt.VM >= 0 {
+				return fmt.Errorf("sim: scheduler placed job %d twice", spec.ID)
 			}
 			rt.VM = p.VM
 			rt.Started = t
@@ -443,8 +512,16 @@ func (rs *runState) placeQueued(t int) error {
 			}
 			rt.Entity = boolToInt(p.Opportunistic)
 			st.running = append(st.running, rt)
+			st.hot = append(st.hot, hotShort{
+				d:        rt.Spec.Usage[0],
+				alloc:    rt.Allocated,
+				duration: float64(rt.Spec.Duration),
+				usage:    rt.Spec.Usage,
+				opp:      p.Opportunistic,
+			})
 			rs.activeJobs[p.VM]++
-			placed[spec.ID] = true
+			rs.shortActive++
+			anyPlaced = true
 			if rt.EvictedAt >= 0 {
 				// An evicted job found a new home: record the
 				// eviction-to-replacement gap.
@@ -454,10 +531,13 @@ func (rs *runState) placeQueued(t int) error {
 			}
 		}
 	}
-	if len(placed) > 0 {
+	if anyPlaced {
+		// A placed job has VM ≥ 0 (set above); everything queued is either
+		// unplaced or evicted, both VM = -1 — so the runtime itself is the
+		// placed set, no side table needed.
 		kept := rs.queue[:0]
 		for _, rt := range rs.queue {
-			if !placed[rt.Spec.ID] {
+			if rt.VM < 0 {
 				kept = append(kept, rt)
 			}
 		}
@@ -488,46 +568,44 @@ func (rs *runState) placeQueued(t int) error {
 // record in VM index order, so the collector sums see identical values in
 // an identical order at any worker count.
 func (rs *runState) executeSlot(t int) {
-	shardIndexes(rs.workers, len(rs.vms), func(v int) {
-		if rs.activeJobs[v] == 0 && !rs.execDirty[v] {
-			return
-		}
-		rs.execDirty[v] = false
-		rs.executeVM(t, v)
-	})
-
-	// Serial reduction in VM index order, matching the monolithic loop's
-	// interleaving: cluster ledger adds, resident demand, long grants, then
-	// the short jobs' allocation/served/demand triple, per VM.
-	slotAllocated := resource.Vector{} // short-job allocations
-	slotDemand := resource.Vector{}    // short-job served demand
-	slotOppAlloc := resource.Vector{}  // opportunistic share of slotAllocated
-	slotClusterAlloc := resource.Vector{}
-	slotClusterDemand := resource.Vector{}
-	for v := range rs.exec {
-		rec := &rs.exec[v]
-		if rec.skip {
-			continue
-		}
-		slotClusterAlloc = slotClusterAlloc.Add(rec.reserved).Add(rec.freshInUse).Add(rec.longReserved)
-		slotClusterDemand = slotClusterDemand.Add(rs.residentUse[v])
-		for _, g := range rec.longGrants {
-			slotClusterDemand = slotClusterDemand.Add(g)
-		}
-		for _, s := range rec.shorts {
-			slotAllocated = slotAllocated.Add(s.alloc)
-			if s.opp {
-				slotOppAlloc = slotOppAlloc.Add(s.alloc)
+	var acc slotAccum
+	if rs.workers <= 1 {
+		// Fused serial pass: execute and fold each VM in index order in one
+		// sweep. Active VMs fold their contributions inside executeVM as the
+		// values are produced (no shortExecRec materialization); idle VMs
+		// replay their cached record through the same fold the sharded
+		// reduction uses. Per accumulator the added values and their order
+		// are identical to the shard-then-reduce path, so both are
+		// bit-identical at any worker count.
+		for v := range rs.vms {
+			if rs.activeJobs[v] == 0 && !rs.execDirty[v] {
+				rs.foldExecRec(v, &rs.exec[v], &acc)
+				continue
 			}
-			slotDemand = slotDemand.Add(s.granted)
-			slotClusterDemand = slotClusterDemand.Add(s.granted)
+			rs.execDirty[v] = false
+			rs.executeVM(t, v, &acc)
 		}
-		rs.res.LongFinished += rec.longFinished
-		// rec.longFinished is non-zero only on the finishing slot's record:
-		// the finish marks the VM dirty, and the forced full pass next slot
-		// resets it to zero before the record can be reused.
-		rs.longActive -= rec.longFinished
+	} else {
+		shardIndexes(rs.workers, len(rs.vms), func(v int) {
+			if rs.activeJobs[v] == 0 && !rs.execDirty[v] {
+				return
+			}
+			rs.execDirty[v] = false
+			rs.executeVM(t, v, nil)
+		})
+		// Serial reduction in VM index order, matching the monolithic
+		// loop's interleaving: cluster ledger adds, resident demand, long
+		// grants, then the short jobs' allocation/served/demand triple,
+		// per VM.
+		for v := range rs.exec {
+			rs.foldExecRec(v, &rs.exec[v], &acc)
+		}
 	}
+	slotAllocated := acc.allocated
+	slotDemand := acc.demand
+	slotOppAlloc := acc.oppAlloc
+	slotClusterAlloc := acc.clusterAlloc
+	slotClusterDemand := acc.clusterDemand
 	rs.collector.Observe(slotAllocated, slotDemand)
 	// Cluster-wide allocation = Σ over VMs of (resident reservation +
 	// long-job reservations + fresh grants) + the opportunistic grants.
@@ -547,7 +625,14 @@ func (rs *runState) executeSlot(t int) {
 	// warmup) count toward the Fig. 6 metric.
 	drained := rs.sched.DrainOutcomes()
 	if t >= rs.cfg.Warmup {
-		rs.outcomes = append(rs.outcomes, drained...)
+		// Only the CPU samples feed the Fig. 6 error-rate metric
+		// (finalize); dropping the other kinds here keeps the
+		// run-long accumulation a third of the size.
+		for _, o := range drained {
+			if o.Kind == resource.CPU {
+				rs.outcomes = append(rs.outcomes, o)
+			}
+		}
 	}
 }
 
@@ -556,6 +641,80 @@ type shortExecRec struct {
 	alloc   resource.Vector
 	granted resource.Vector
 	opp     bool
+}
+
+// slotAccum carries one slot's running collector sums. Each field is an
+// independent floating-point addition chain; keeping the added values and
+// their order fixed across execution strategies is what keeps every worker
+// count bit-identical.
+type slotAccum struct {
+	allocated     resource.Vector // short-job allocations
+	demand        resource.Vector // short-job served demand
+	oppAlloc      resource.Vector // opportunistic share of allocated
+	clusterAlloc  resource.Vector
+	clusterDemand resource.Vector
+}
+
+// foldExecRec adds VM v's execution record into the slot sums — the per-VM
+// body of the serial reduction, also used by the fused serial pass to
+// replay idle VMs' cached records.
+func (rs *runState) foldExecRec(v int, rec *vmExecRecord, acc *slotAccum) {
+	if rec.skip {
+		return
+	}
+	acc.clusterAlloc = acc.clusterAlloc.Add(rec.reserved).Add(rec.freshInUse).Add(rec.longReserved)
+	acc.clusterDemand = acc.clusterDemand.Add(rs.residentUse[v])
+	for _, g := range rec.longGrants {
+		acc.clusterDemand = acc.clusterDemand.Add(g)
+	}
+	for i := range rec.shorts {
+		s := &rec.shorts[i]
+		acc.allocated = acc.allocated.Add(s.alloc)
+		if s.opp {
+			acc.oppAlloc = acc.oppAlloc.Add(s.alloc)
+		}
+		acc.demand = acc.demand.Add(s.granted)
+		acc.clusterDemand = acc.clusterDemand.Add(s.granted)
+	}
+	rs.res.LongFinished += rec.longFinished
+	// rec.longFinished/shortFinished are non-zero only on the finishing
+	// slot's record: the finish marks the VM dirty, and the forced full
+	// pass next slot resets them to zero before the record can be reused.
+	rs.longActive -= rec.longFinished
+	rs.shortActive -= rec.shortFinished
+}
+
+// hotShort is one running short job's execution state, packed into the
+// VM's dense hot array (vmState.hot, index-parallel with vmState.running).
+// At the scale profile executeVM visits millions of job-slots; reading
+// them through *Runtime costs three dependent cache misses per job-slot
+// (the runtime, its spec, the usage element), while this layout streams one
+// sequential array. uidx is slots mod len(usage), maintained by a
+// compare-wrap increment so the per-slot demand lookup (job.DemandAt's
+// wrap-around) needs no integer division. progress/slots shadow the
+// Runtime fields and are written back on finish and at finalize; alloc
+// shadows Runtime.Allocated and is updated in lockstep by adjustments.
+//
+// d carries usage[uidx], the current slot's demand: every consumer of the
+// per-slot demand (the wantOpp fold, the advance pass, adjustments) reads
+// it from the sequential hot array, and the one gather into the job's
+// usage series happens at the tail of the advance pass — as a store with
+// no dependent consumer, so the per-job cache misses overlap instead of
+// serializing the fold.
+//
+// usage aliases Spec.Usage; the trace generator packs every series into
+// one contiguous arena (see trace.GenerateShortJobs), so these gathers
+// land on a few shared hot pages rather than one generator-allocated heap
+// page per job.
+type hotShort struct {
+	d        resource.Vector // usage[uidx], the current slot's demand
+	alloc    resource.Vector
+	progress float64
+	duration float64           // float64(Spec.Duration), the finish threshold
+	usage    []resource.Vector // aliases Spec.Usage
+	slots    int32
+	uidx     int32
+	opp      bool
 }
 
 // vmExecRecord is one VM's slot contribution: ledger snapshots taken before
@@ -570,19 +729,55 @@ type vmExecRecord struct {
 	longReserved resource.Vector
 	longGrants   []resource.Vector
 	longFinished int
-	shorts       []shortExecRec
+	// shortFinished counts short jobs that completed this slot; like
+	// longFinished it is non-zero only on the finishing slot's record
+	// (the finish marks the VM dirty, forcing a resetting full pass
+	// before the record can be replayed for an idle VM).
+	shortFinished int
+	shorts        []shortExecRec
+}
+
+// rebuildHot reconstructs the dense hot array from the running list. The
+// simulator maintains the pair incrementally (placement appends, execute
+// compacts, crashes clear); this exists for tests that assemble vmStates
+// directly.
+func (st *vmState) rebuildHot() {
+	st.hot = st.hot[:0]
+	for _, rt := range st.running {
+		h := hotShort{
+			alloc:    rt.Allocated,
+			progress: rt.Progress,
+			duration: float64(rt.Spec.Duration),
+			usage:    rt.Spec.Usage,
+			slots:    int32(rt.Slots),
+			opp:      rt.Entity == 1,
+		}
+		if len(h.usage) > 0 {
+			h.uidx = h.slots % int32(len(h.usage))
+			h.d = h.usage[h.uidx]
+		}
+		st.hot = append(st.hot, h)
+	}
 }
 
 // executeVM runs slot t on VM v: advance long then short jobs, apply the
 // opportunistic-pool scale factor, update the VM's ledgers, and record the
 // contribution sequence for the serial reduction. Everything touched here
 // is owned by VM v (its state, its runtimes), so the shard is race-free.
-func (rs *runState) executeVM(t, v int) {
+//
+// With a non-nil acc (the fused serial pass) the contributions are folded
+// into the slot sums directly, at exactly the points the reduction's
+// per-VM replay would add them, and the per-job record slices are left
+// empty — a VM only becomes idle (cached-record replay) with no running
+// jobs, so an empty shorts/longGrants is exactly what a fresh pass would
+// record for it.
+func (rs *runState) executeVM(t, v int, acc *slotAccum) {
 	st := rs.vms[v]
 	rec := &rs.exec[v]
 	rec.longGrants = rec.longGrants[:0]
 	rec.shorts = rec.shorts[:0]
 	rec.longFinished = 0
+	rec.shortFinished = 0
 	rec.skip = st.down
 	if st.down {
 		return
@@ -590,12 +785,20 @@ func (rs *runState) executeVM(t, v int) {
 	// Ledger snapshot before completions release reservations: the
 	// monolithic loop added these before advancing any job.
 	rec.reserved, rec.freshInUse, rec.longReserved = st.reserved, st.freshInUse, st.longReserved
+	if acc != nil {
+		acc.clusterAlloc = acc.clusterAlloc.Add(rec.reserved).Add(rec.freshInUse).Add(rec.longReserved)
+		acc.clusterDemand = acc.clusterDemand.Add(rs.residentUse[v])
+	}
 
 	// Long-lived jobs run with guaranteed allocations.
 	keptLong := st.longRunning[:0]
 	for _, rt := range st.longRunning {
 		granted := rt.Spec.DemandAt(rt.Slots).Min(rt.Allocated)
-		rec.longGrants = append(rec.longGrants, granted)
+		if acc != nil {
+			acc.clusterDemand = acc.clusterDemand.Add(granted)
+		} else {
+			rec.longGrants = append(rec.longGrants, granted)
+		}
 		rt.Advance(granted)
 		if rt.Progress >= float64(rt.Spec.Duration)-1e-9 {
 			rt.Finished = t
@@ -609,12 +812,16 @@ func (rs *runState) executeVM(t, v int) {
 	}
 	st.longRunning = keptLong
 
-	// Opportunistic pool: what the residents truly left unused.
+	// Opportunistic pool: what the residents truly left unused. The first
+	// pass folds the opportunistic jobs' want = min(demand, allocated) in
+	// running-list order, exactly as before; the demand lookups hit the
+	// dense hot array, not the runtimes.
 	pool := rs.unused[v]
+	hot := st.hot
 	var wantOpp resource.Vector
-	for _, rt := range st.running {
-		if rt.Entity == 1 {
-			wantOpp = wantOpp.Add(rt.Spec.DemandAt(rt.Slots).Min(rt.Allocated))
+	for i := range hot {
+		if h := &hot[i]; h.opp {
+			wantOpp = wantOpp.Add(h.d.Min(h.alloc))
 		}
 	}
 	// Per-kind scale factor when the pool is oversubscribed.
@@ -626,35 +833,94 @@ func (rs *runState) executeVM(t, v int) {
 			scale[k] = pool[k] / wantOpp[k]
 		}
 	}
-	finished := st.running[:0]
-	for _, rt := range st.running {
-		want := rt.Spec.DemandAt(rt.Slots).Min(rt.Allocated)
-		granted := want
-		if rt.Entity == 1 {
-			granted = want.Mul(scale)
+	// Advance in place with positional record writes (no append/struct-copy
+	// per job-slot); the running/hot arrays are only compacted afterwards,
+	// on the rare slots where a job actually finished. The fused pass folds
+	// each job's contribution straight into the slot sums instead of
+	// materializing it.
+	if acc == nil {
+		if cap(rec.shorts) < len(hot) {
+			rec.shorts = make([]shortExecRec, len(hot))
 		}
-		rec.shorts = append(rec.shorts, shortExecRec{alloc: rt.Allocated, granted: granted, opp: rt.Entity == 1})
-		rt.Advance(granted)
-		if rt.Progress >= float64(rt.Spec.Duration)-1e-9 {
+		rec.shorts = rec.shorts[:len(hot)]
+	}
+	for i := range hot {
+		h := &hot[i]
+		d := h.d
+		granted := d.Min(h.alloc) // the want the first pass folded
+		if h.opp {
+			granted = granted.Mul(scale)
+		}
+		if acc != nil {
+			acc.allocated = acc.allocated.Add(h.alloc)
+			if h.opp {
+				acc.oppAlloc = acc.oppAlloc.Add(h.alloc)
+			}
+			acc.demand = acc.demand.Add(granted)
+			acc.clusterDemand = acc.clusterDemand.Add(granted)
+		} else {
+			s := &rec.shorts[i]
+			s.alloc = h.alloc
+			s.granted = granted
+			s.opp = h.opp
+		}
+		h.progress += job.ProgressRate(granted, d)
+		h.slots++
+		if h.uidx++; int(h.uidx) == len(h.usage) {
+			h.uidx = 0
+		}
+		h.d = h.usage[h.uidx] // next slot's demand: a pure prefetch store
+		if h.progress >= h.duration-1e-9 {
+			rt := st.running[i]
 			rt.Finished = t
-			if rt.Entity == 1 {
-				st.oppInUse = st.oppInUse.Sub(rt.Allocated).ClampNonNegative()
+			rt.Progress = h.progress
+			rt.Slots = int(h.slots)
+			if h.opp {
+				st.oppInUse = st.oppInUse.Sub(h.alloc).ClampNonNegative()
 			} else {
-				st.freshInUse = st.freshInUse.Sub(rt.Allocated).ClampNonNegative()
+				st.freshInUse = st.freshInUse.Sub(h.alloc).ClampNonNegative()
 			}
 			rs.activeJobs[v]--
 			rs.execDirty[v] = true
-		} else {
-			finished = append(finished, rt)
+			rec.shortFinished++
 		}
 	}
-	st.running = finished
+	if rec.shortFinished > 0 {
+		// Order-preserving compaction of both parallel arrays. The finish
+		// predicate is stable: progress only grew past the threshold for
+		// the jobs marked above.
+		kept := st.running[:0]
+		keptHot := hot[:0]
+		for i := range hot {
+			if h := &hot[i]; h.progress < h.duration-1e-9 {
+				kept = append(kept, st.running[i])
+				keptHot = append(keptHot, *h)
+			}
+		}
+		st.running = kept
+		st.hot = keptHot
+	}
+	if acc != nil {
+		// The integer bookkeeping foldExecRec would have replayed.
+		rs.res.LongFinished += rec.longFinished
+		rs.longActive -= rec.longFinished
+		rs.shortActive -= rec.shortFinished
+	}
 }
 
 // finalize computes the run's aggregate metrics from the collectors and
 // per-job runtimes.
 func (rs *runState) finalize() *Result {
 	cfg, res := rs.cfg, rs.res
+	// Jobs still running at the horizon carry their live progress in the
+	// VMs' hot arrays (the Runtime fields are only synced at finish); write
+	// it back before the per-runtime accounting below reads it.
+	for _, st := range rs.vms {
+		for i, rt := range st.running {
+			rt.Progress = st.hot[i].progress
+			rt.Slots = int(st.hot[i].slots)
+		}
+	}
 	for _, k := range resource.Kinds() {
 		res.Utilization[k] = rs.collector.Utilization(k)
 		res.ClusterUtilization[k] = rs.clusterCollector.Utilization(k)
@@ -664,7 +930,7 @@ func (rs *runState) finalize() *Result {
 	res.ClusterOverall = rs.clusterCollector.Overall(cfg.Weights)
 
 	cpuCap := rs.cl.VMs[0].Capacity.At(resource.CPU)
-	var predOutcomes []metrics.PredictionOutcome
+	predOutcomes := make([]metrics.PredictionOutcome, 0, len(rs.outcomes))
 	for _, o := range rs.outcomes {
 		if o.Kind == resource.CPU {
 			predOutcomes = append(predOutcomes, metrics.PredictionOutcome{Error: o.Error})
@@ -674,8 +940,8 @@ func (rs *runState) finalize() *Result {
 	res.PredictionErrorRate = metrics.PredictionErrorRate(predOutcomes, cfg.Epsilon*cpuCap)
 
 	var respSum, respN float64
-	var responses []int
-	var serviceRates []float64
+	responses := make([]int, 0, len(rs.runtimes))
+	serviceRates := make([]float64, 0, len(rs.runtimes))
 	// Attribute each violated or unfinished job to its damage mechanism:
 	// jobs evicted by a failure are failure damage, the rest starved on
 	// opportunistic pools (the paper's fault-free mechanism). Only fault

@@ -131,6 +131,15 @@ type Config struct {
 	// construction, so this only affects wall time; it exists for the
 	// equivalence tests and A/B measurements.
 	DisableResidentTables bool
+
+	// DisableSpanFastForward forces the event core to process every
+	// quiescent slot through the normal per-event path instead of
+	// replaying whole no-op spans in one loop (DESIGN.md §5j). The
+	// fast-forward is bit-identical by construction, so this only affects
+	// wall time; it exists for the equivalence tests and A/B
+	// measurements. It implies nothing for CoreSlot, which never
+	// fast-forwards.
+	DisableSpanFastForward bool
 }
 
 // Core selects the simulator's execution core.
@@ -291,8 +300,16 @@ type vmState struct {
 	longReserved resource.Vector // long-lived jobs' guaranteed reservations
 	resident     *job.Job
 	running      []*job.Runtime
-	longRunning  []*job.Runtime
-	down         bool // failed by fault injection; recovers later
+	// hot mirrors running index-for-index with the per-slot execution state
+	// (usage series, allocation, progress) packed into one dense array, so
+	// executeVM streams a contiguous slice instead of chasing a *Runtime,
+	// its *Job spec, and the usage backing array per job-slot. The Runtime
+	// fields it shadows (Progress, Slots) are written back on finish,
+	// eviction, and at finalize; Allocated is kept in both (adjustments
+	// update the pair together). See hotShort in run.go.
+	hot         []hotShort
+	longRunning []*job.Runtime
+	down        bool // failed by fault injection; recovers later
 }
 
 // freshHeadroom is the guaranteed capacity still unallocated on the VM.

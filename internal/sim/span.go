@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"sync/atomic"
+
+	"repro/internal/resource"
+)
+
+// spanSlotsFastForwarded counts the slots replayed by fastForwardSpan,
+// process-wide. The equivalence tests read it to prove their quiet
+// scenarios actually enter the fast path — and that faulted or surged
+// runs stand down completely. Atomic because figure sweeps run
+// simulations concurrently; one add per span is noise.
+var spanSlotsFastForwarded atomic.Int64
+
+// This file is the quiescent-span fast-forward (DESIGN.md §5j): when the
+// event queue's next real event is k > 1 slots away and the fleet is
+// quiescent, the event core replays the whole span in one tight loop
+// instead of k full slot iterations. "Quiescent" means every slot in the
+// span would be a pure telemetry+execute no-op slot:
+//
+//   - the resident tables are armed and no surge is active, so observe(t)
+//     would take the table fast path and its output depends only on
+//     t mod Period;
+//   - no long or short job is running and no VM carries a pending
+//     fault/finish transition (execDirty), so executeSlot(t) would skip
+//     every VM and its reduction would fold exactly the cached ledger
+//     records plus the phase's resident-demand row;
+//   - no job queues and no event (arrival, retry, fault draw, refresh,
+//     long-job transition, placement) is due before the span's end. A
+//     fault injector re-arms evFault every slot, so faulted runs never
+//     form a span and the fast path stands down automatically; a surge can
+//     only arm inside advanceFaults, which the same bound covers.
+//
+// Bit-exactness recipe (the AddCommRepeat recipe from §5i, applied to the
+// telemetry/collector folds): every per-slot accumulation is applied as
+// repeated additions in the identical per-slot order the normal path would
+// perform — one collector.Observe with zero vectors and one
+// clusterCollector.Observe per slot, with the cluster demand taken from
+// the table's precomputed per-phase row sum (itself folded in ascending VM
+// order, the reduction's exact addition sequence) and the cluster
+// allocation from one per-span fold of the cached exec records (the
+// ledgers are constant across the span, so each slot's fold would produce
+// the identical bits). Predictor ring feeds go through the engine's
+// ObserveSpan, which replays the same per-VM appends sharded across the
+// worker budget with positional writes (internal/workpool supplies the
+// budget), so any worker count stays bit-identical.
+//
+// In-span slots drain no prediction outcomes: predictions are recorded
+// only during Refresh and mature exactly at the next refresh slot's
+// observe (every scheme's tracker window equals its scheduler window —
+// they share one config field), and a pending refresh event always bounds
+// the span, so the skipped per-slot DrainOutcomes calls would all return
+// empty.
+//
+// Config.DisableSpanFastForward is the escape hatch; the equivalence
+// suites pin fast-forward on vs off (and the event core vs the slot loop)
+// bit-identical at any worker count.
+
+// spanEnd reports how far the event core may fast-forward from slot t: it
+// returns the first slot the replay must stop before (exclusive), or t
+// itself when no fast-forward is possible. A span is only worth entering
+// when it covers at least two slots; single quiet slots run the normal
+// per-event path.
+func (rs *runState) spanEnd(t int) int {
+	if rs.cfg.DisableSpanFastForward || rs.tables == nil || rs.cfg.RecordTimeline {
+		return t
+	}
+	// Activity checks, cheapest first: any running or queued work, an
+	// armed surge, or a down VM disqualifies the span.
+	if rs.shortActive != 0 || rs.longActive != 0 || len(rs.queue) != 0 ||
+		rs.surge != nil || rs.downCount != 0 {
+		return t
+	}
+	// Every queued event is a real event at time ≥ t (armSlot runs after
+	// the slot's execute, the last phase); the earliest of them — or the
+	// horizon — bounds the span.
+	end := rs.horizon
+	for i := range rs.events.items {
+		if et := rs.events.items[i].time; et < end {
+			end = et
+		}
+	}
+	if end <= t+1 {
+		return t
+	}
+	// A VM whose cached exec record is stale (a job finished or a fault
+	// transitioned last slot) still needs one full executeVM pass; stand
+	// down for this slot and re-check at the next. Scanned last — it is
+	// the only O(VMs) check.
+	for _, d := range rs.execDirty {
+		if d {
+			return t
+		}
+	}
+	return end
+}
+
+// fastForwardSpan replays the quiescent slots [t0, end) in one pass. Every
+// observable effect of the normal per-slot path is reproduced bit-exactly;
+// see the file comment for the argument.
+func (rs *runState) fastForwardSpan(t0, end int) {
+	spanSlotsFastForwarded.Add(int64(end - t0))
+	tab := rs.tables
+	// The cluster-allocation side of the execute reduction folds the
+	// cached ledger records in ascending VM order. The records are
+	// untouched across the span, so one fold yields every slot's bits;
+	// the trailing Add of the (zero) opportunistic share replays the
+	// slotClusterAlloc.Add(slotOppAlloc) the reduction performs.
+	var clusterAlloc resource.Vector
+	for v := range rs.exec {
+		rec := &rs.exec[v]
+		clusterAlloc = clusterAlloc.Add(rec.reserved).Add(rec.freshInUse).Add(rec.longReserved)
+	}
+	var zero resource.Vector
+	clusterAlloc = clusterAlloc.Add(zero)
+
+	// Telemetry rows for the span, aliased straight out of the resident
+	// tables (read-only; the observe fast path would alias the same rows
+	// with downCount == 0).
+	rows := rs.spanRows[:0]
+	for t := t0; t < end; t++ {
+		rows = append(rows, tab.UnusedRow(t%tab.Period))
+	}
+	rs.spanRows = rows
+
+	// Predictor feeds: the engine's ObserveSpan replays the identical
+	// per-VM appends (sharded, positional); without one, per-slot batch
+	// or serial feeds preserve the exact call sequence instead.
+	switch {
+	case rs.hasSpanObs:
+		rs.spanObs.ObserveSpan(rows, rs.downMask)
+	case rs.hasBatcher:
+		for _, row := range rows {
+			rs.batcher.ObserveAll(row, rs.downMask)
+		}
+	default:
+		for _, row := range rows {
+			for v := range rs.vms {
+				if !rs.downMask[v] {
+					rs.sched.Observe(v, row[v])
+				}
+			}
+		}
+	}
+
+	// Collector folds, one slot at a time in slot order (repeated
+	// additions, never a fused multiply): the short-job collector sees
+	// the zero sums an empty slot produces, the cluster collector the
+	// constant allocation fold and the phase's precomputed demand-row
+	// fold.
+	for t := t0; t < end; t++ {
+		rs.collector.Observe(zero, zero)
+		rs.clusterCollector.Observe(clusterAlloc, tab.DemandRowSum(t%tab.Period))
+	}
+}

@@ -1,0 +1,171 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+	"repro/internal/job"
+	"repro/internal/resource"
+	"repro/internal/scheduler"
+)
+
+// spanQuietConfig is the quiet-heavy shape the span tests share: a short
+// arrival burst followed by a long drain, so the tail is one quiescent
+// stretch the event core carves into spans (each bounded by the refresh
+// event, the arrival chain having ended).
+func spanQuietConfig(sc scheduler.Scheme, seed int64) Config {
+	return Config{
+		NumPMs: 8, NumVMs: 32, NumJobs: 60, Seed: seed,
+		Warmup: 30, ArrivalSpan: 15, Drain: 250,
+		Scheduler: scheduler.Config{Scheme: sc, Seed: seed},
+		Clock:     &VirtualClock{StepMicros: 50},
+		Workers:   1,
+	}
+}
+
+// TestSpanFastForwardEquivalence pins the quiescent-span fast-forward
+// (DESIGN.md §5j): every scenario must produce the identical Result with
+// Config.DisableSpanFastForward off (spans replayed in one loop) and on
+// (every slot through the normal per-event path). The process-wide span
+// counter proves each scenario does what its name claims — the quiet
+// shapes must actually fast-forward, and the faulted/surged shapes must
+// stand down completely. Subtests are deliberately sequential: the
+// counter is shared by every run in the process.
+func TestSpanFastForwardEquivalence(t *testing.T) {
+	scenarios := []struct {
+		name      string
+		cfg       func() Config
+		wantSpans bool // fast path must fire; otherwise it must fully stand down
+	}{
+		{"quiet-tail-rccr", func() Config {
+			return spanQuietConfig(scheduler.RCCR, 7)
+		}, true},
+		{"quiet-tail-corp-workers4", func() Config {
+			// CORP's engine implements ObserveSpan; workers > 1 exercises
+			// the sharded positional replay inside the span.
+			cfg := spanQuietConfig(scheduler.CORP, 11)
+			cfg.Workers = 4
+			return cfg
+		}, true},
+		{"arrival-gaps", func() Config {
+			// Explicit jobs arriving every 40 slots: each gap goes quiet
+			// once the burst drains, so spans form between bursts and the
+			// pending arrival event lands exactly on a span edge.
+			cfg := spanQuietConfig(scheduler.RCCR, 13)
+			var jobs []*job.Job
+			for i := 0; i < 6; i++ {
+				usage := make([]resource.Vector, 3)
+				for s := range usage {
+					usage[s] = resource.Vector{0.2, 0.8, 2}
+				}
+				jobs = append(jobs, &job.Job{
+					ID: job.ID(2000 + i), Arrival: 20 + 40*i,
+					Request: resource.Vector{0.4, 1.6, 4}, Usage: usage,
+					Duration: 3, SLOFactor: 10,
+				})
+			}
+			cfg.ExplicitJobs = jobs
+			return cfg
+		}, true},
+		{"refresh-bisect", func() Config {
+			// A refresh window far wider than the default bisects the
+			// quiet tail into long spans bounded only by the refresh event;
+			// the span must stop exactly there so the matured prediction
+			// outcomes drain at the refresh slot and nowhere else.
+			cfg := spanQuietConfig(scheduler.RCCR, 17)
+			cfg.Scheduler.RCCR.Window = 25
+			return cfg
+		}, true},
+		{"fault-edge-stand-down", func() Config {
+			// The injector re-arms its draw event every slot, so every
+			// would-be span is bounded at its edge by a fault draw: the
+			// fast path must never fire, and crash/recovery transitions
+			// land exactly on those edges.
+			cfg := spanQuietConfig(scheduler.RCCR, 19)
+			cfg.Faults = faults.Config{
+				Seed: 19, VMCrashProb: 0.02, MeanDowntime: 10,
+			}
+			return cfg
+		}, false},
+		{"surge-stand-down", func() Config {
+			// Surges arm inside the fault layer's per-slot draws, so the
+			// same per-slot event bound keeps the fast path down for the
+			// whole run even when no VM ever crashes.
+			cfg := spanQuietConfig(scheduler.CORP, 23)
+			cfg.Faults = faults.Config{
+				Seed: 23, SurgeProb: 0.2, SurgeFactor: 1.8, MeanDowntime: 8,
+			}
+			return cfg
+		}, false},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			before := spanSlotsFastForwarded.Load()
+			want, err := Run(sc.cfg())
+			if err != nil {
+				t.Fatal(err)
+			}
+			ffOn := spanSlotsFastForwarded.Load() - before
+			if sc.wantSpans && ffOn == 0 {
+				t.Fatal("scenario never entered the span fast path; it pins nothing")
+			}
+			if !sc.wantSpans && ffOn != 0 {
+				t.Fatalf("span fast path replayed %d slots; this scenario requires it to stand down", ffOn)
+			}
+
+			off := sc.cfg()
+			off.DisableSpanFastForward = true
+			before = spanSlotsFastForwarded.Load()
+			got, err := Run(off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ff := spanSlotsFastForwarded.Load() - before; ff != 0 {
+				t.Fatalf("DisableSpanFastForward run still replayed %d span slots", ff)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("span-off run diverged from span-on:\n on:  %+v\n off: %+v", want, got)
+			}
+		})
+	}
+}
+
+// TestSpanFastForwardWorkersAndCores pins the span path's other two axes:
+// the engine's sharded ObserveSpan replay is bit-identical at any worker
+// budget, and the event core with spans enabled matches the reference
+// slot loop, which has no span machinery at all.
+func TestSpanFastForwardWorkersAndCores(t *testing.T) {
+	mk := func(workers int, core Core) Config {
+		cfg := spanQuietConfig(scheduler.CORP, 29)
+		cfg.Workers = workers
+		cfg.Core = core
+		return cfg
+	}
+	before := spanSlotsFastForwarded.Load()
+	want, err := Run(mk(1, CoreEvent))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spanSlotsFastForwarded.Load() == before {
+		t.Fatal("reference run never entered the span fast path; the comparison is vacuous")
+	}
+	for _, tc := range []struct {
+		name    string
+		workers int
+		core    Core
+	}{
+		{"workers4-event", 4, CoreEvent},
+		{"workers1-slot", 1, CoreSlot},
+		{"workers4-slot", 4, CoreSlot},
+	} {
+		got, err := Run(mk(tc.workers, tc.core))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("%s diverged from workers=1 event core", tc.name)
+		}
+	}
+}

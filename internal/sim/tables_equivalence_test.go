@@ -53,6 +53,41 @@ func TestObserveTableEquivalence(t *testing.T) {
 			cfg.LongJobs = 8
 			return cfg
 		}},
+		{"span-quiet-tail", func() Config {
+			// A short burst followed by a long drain: the tail is pure
+			// quiescence, so the event core fast-forwards span after span
+			// (each bounded by the refresh event); the tables-off side
+			// disables the spans too, so this pins the span replay against
+			// the fully plain per-slot path.
+			cfg := base(scheduler.RCCR, 17)
+			cfg.ArrivalSpan = 10
+			cfg.Drain = 200
+			return cfg
+		}},
+		{"span-edge-fault", func() Config {
+			// Faults during a quiet-heavy run: the injector re-arms its
+			// draw event every slot, so every would-be span is bounded at
+			// its edge by a fault draw and the fast path must stand down;
+			// crash/recovery transitions land exactly on those edges.
+			cfg := base(scheduler.RCCR, 19)
+			cfg.ArrivalSpan = 10
+			cfg.Drain = 150
+			cfg.Faults = faults.Config{
+				Seed: 19, VMCrashProb: 0.02, MeanDowntime: 10,
+			}
+			return cfg
+		}},
+		{"span-refresh-bisect", func() Config {
+			// A refresh window far wider than the default bisects the quiet
+			// tail into long spans whose only boundary is the refresh event
+			// itself — the span must stop exactly at the refresh slot so the
+			// matured prediction outcomes drain there and nowhere else.
+			cfg := base(scheduler.RCCR, 23)
+			cfg.Scheduler.RCCR.Window = 25
+			cfg.ArrivalSpan = 10
+			cfg.Drain = 200
+			return cfg
+		}},
 		{"explicit-wrap", func() Config {
 			cfg := base(scheduler.RCCR, 3)
 			// Late-arriving explicit jobs widen the run horizon well past

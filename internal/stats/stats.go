@@ -192,15 +192,24 @@ func NewWindow(capacity int) *Window {
 	return &Window{buf: make([]float64, capacity)}
 }
 
-// Push appends x, evicting the oldest sample when full.
+// Push appends x, evicting the oldest sample when full. The ring indices
+// are wrapped with compares instead of %: head and n are both < len(buf)+1,
+// so one conditional subtract reaches the same index without the integer
+// division (Push runs once per predictor kind per VM per slot).
 func (w *Window) Push(x float64) {
 	if w.n < len(w.buf) {
-		w.buf[(w.head+w.n)%len(w.buf)] = x
+		i := w.head + w.n
+		if i >= len(w.buf) {
+			i -= len(w.buf)
+		}
+		w.buf[i] = x
 		w.n++
 		return
 	}
 	w.buf[w.head] = x
-	w.head = (w.head + 1) % len(w.buf)
+	if w.head++; w.head == len(w.buf) {
+		w.head = 0
+	}
 }
 
 // Len returns the number of stored samples.
@@ -237,6 +246,32 @@ func (w *Window) AppendValues(dst []float64) []float64 {
 	}
 	dst = append(dst, head...)
 	return append(dst, w.buf[:w.n-len(head)]...)
+}
+
+// TailMean returns the mean of the newest n samples (all of them when
+// fewer are stored; 0 when empty). The sum visits the samples oldest-first,
+// exactly the order Mean(AppendValues(...)[len-n:]) would fold them in, so
+// the result is bit-identical to linearizing the ring first — without
+// copying it.
+func (w *Window) TailMean(n int) float64 {
+	if n > w.n {
+		n = w.n
+	}
+	if n <= 0 {
+		return 0
+	}
+	i := w.head + w.n - n
+	if i >= len(w.buf) {
+		i -= len(w.buf)
+	}
+	var s float64
+	for k := 0; k < n; k++ {
+		s += w.buf[i]
+		if i++; i == len(w.buf) {
+			i = 0
+		}
+	}
+	return s / float64(n)
 }
 
 // Last returns the newest sample; ok is false when empty.

@@ -17,6 +17,16 @@ import (
 // Layout is phase-major: row p holds all VMs' vectors for phase p
 // contiguously, so a slot's fast path streams two dense rows instead of
 // striding across per-VM blocks.
+//
+// Aliasing contract: the rows returned by DemandRow/UnusedRow are views
+// into the snapshot-shared backing slabs, and the simulator's telemetry
+// fast path aliases its per-slot scratch directly to them (copy-on-write:
+// it falls back to copying into run-owned buffers only when a down-mask or
+// surge mutation must patch individual entries). Every consumer of those
+// rows — predictor feeds, the execute reduction, timeline snapshots —
+// therefore MUST treat them as strictly read-only; a single write through
+// an aliased row would corrupt the table for every concurrent run sharing
+// the snapshot.
 type ResidentTables struct {
 	// NumVMs is the number of residents (one per VM).
 	NumVMs int
@@ -25,6 +35,12 @@ type ResidentTables struct {
 
 	demand []resource.Vector // [p*NumVMs+v] = residents[v].DemandAt(p)
 	unused []resource.Vector // [p*NumVMs+v] = residents[v].UnusedAt(p)
+
+	// demandSum[p] is the fold of DemandRow(p) in ascending VM order —
+	// the exact addition sequence the simulator's execute reduction
+	// performs for a quiescent slot's cluster demand, precomputed once so
+	// a span fast-forward can replay k slots without k O(VMs) walks.
+	demandSum []resource.Vector
 }
 
 // DemandRow returns the per-VM resident demand vectors for phase p
@@ -38,10 +54,16 @@ func (t *ResidentTables) UnusedRow(p int) []resource.Vector {
 	return t.unused[p*t.NumVMs : (p+1)*t.NumVMs]
 }
 
+// DemandRowSum returns the fold of DemandRow(p) in ascending VM order,
+// bit-identical to summing the row entry by entry.
+func (t *ResidentTables) DemandRowSum(p int) resource.Vector {
+	return t.demandSum[p]
+}
+
 // Bytes returns the retained size of the tables.
 func (t *ResidentTables) Bytes() int64 {
 	const vecBytes = resource.NumKinds * 8
-	return int64(len(t.demand)+len(t.unused)) * vecBytes
+	return int64(len(t.demand)+len(t.unused)+len(t.demandSum)) * vecBytes
 }
 
 // buildResidentTables materialises the tables for a resident population, or
@@ -61,17 +83,21 @@ func buildResidentTables(residents []*job.Job) *ResidentTables {
 		}
 	}
 	t := &ResidentTables{
-		NumVMs: len(residents),
-		Period: period,
-		demand: make([]resource.Vector, period*len(residents)),
-		unused: make([]resource.Vector, period*len(residents)),
+		NumVMs:    len(residents),
+		Period:    period,
+		demand:    make([]resource.Vector, period*len(residents)),
+		unused:    make([]resource.Vector, period*len(residents)),
+		demandSum: make([]resource.Vector, period),
 	}
 	for p := 0; p < period; p++ {
 		row := p * t.NumVMs
+		var sum resource.Vector
 		for v, r := range residents {
 			t.demand[row+v] = r.DemandAt(p)
 			t.unused[row+v] = r.UnusedAt(p)
+			sum = sum.Add(t.demand[row+v])
 		}
+		t.demandSum[p] = sum
 	}
 	return t
 }

@@ -70,8 +70,9 @@ func TestTablesLazyAndCounted(t *testing.T) {
 	if grow := after - before; grow != tab.Bytes() {
 		t.Fatalf("Bytes grew by %d after Tables(), want %d", grow, tab.Bytes())
 	}
-	if tab.Bytes() != int64(2*8*24*resource.NumKinds*8) {
-		t.Fatalf("table Bytes = %d, want %d", tab.Bytes(), 2*8*24*resource.NumKinds*8)
+	// Two per-(phase, VM) tables plus the per-phase demand-row sums.
+	if want := int64((2*8*24 + 24) * resource.NumKinds * 8); tab.Bytes() != want {
+		t.Fatalf("table Bytes = %d, want %d", tab.Bytes(), want)
 	}
 	if again := snap.Tables(); again != tab {
 		t.Fatal("second Tables() call returned a different instance")
